@@ -1,0 +1,68 @@
+//! Ablation A15 — the 133 ms fast-response window's safety margin.
+//!
+//! "a request is given up to 133ms to be satisfied before a full wait is
+//! imposed ... Generally, servers respond within 100us so a comfortable
+//! margin of safety exists allowing for practically all queries for
+//! existing files to be satisfied without imposing a large delay" (§III-B1).
+//!
+//! We sweep the one-way link latency so the server-response time crosses
+//! the window, and report how many cold opens suffered a full 5 s wait.
+//! Below the window: zero. Beyond it (response > 133 ms): every cold open
+//! pays the full delay — the failure mode the margin guards against.
+
+use bench::{ns, ok_latency_hist, run_ops, table};
+use scalla_client::{ClientOp, OpOutcome};
+use scalla_simnet::LatencyModel;
+use scalla_sim::{ClusterConfig, SimCluster};
+use scalla_util::Nanos;
+
+fn run(link: Nanos) -> (Nanos, u64, usize) {
+    let mut cfg = ClusterConfig::flat(8);
+    cfg.latency = LatencyModel::fixed(link);
+    cfg.seed = 15;
+    let mut cluster = SimCluster::build(cfg);
+    let n = 12usize;
+    for i in 0..n {
+        cluster.seed_file(i % 8, &format!("/m/f{i}"), 1, true);
+    }
+    cluster.settle(Nanos::from_secs(20));
+    let ops: Vec<ClientOp> =
+        (0..n).map(|i| ClientOp::Open { path: format!("/m/f{i}"), write: false }).collect();
+    let results = run_ops(&mut cluster, ops, Nanos::from_secs(1200));
+    let ok = results.iter().filter(|r| r.outcome == OpOutcome::Ok).count();
+    let waits: u64 = results.iter().map(|r| u64::from(r.waits)).sum();
+    (ok_latency_hist(&results).mean(), waits, ok)
+}
+
+fn main() {
+    println!(
+        "A15 (ablation): server response time vs the 133 ms fast window\n\
+         (paper: responses ~100 us leave a comfortable safety margin)"
+    );
+    let mut rows = Vec::new();
+    for &ms in &[0u64, 1, 30, 60, 100, 200] {
+        let link = if ms == 0 { Nanos::from_micros(25) } else { Nanos::from_millis(ms) };
+        // Server response time seen by the waiting cmsd = 2 x link.
+        let resp = Nanos(2 * link.0);
+        let (mean, waits, ok) = run(link);
+        rows.push(vec![
+            format!("{link}"),
+            format!("{resp}"),
+            if resp > Nanos::from_millis(133) { "exceeded".into() } else { "within".into() },
+            ns(mean),
+            waits.to_string(),
+            format!("{ok}/12"),
+        ]);
+    }
+    table(
+        "cold opens of existing files vs link latency (133 ms window)",
+        &["one-way link", "server response", "vs window", "mean open", "full waits", "ok"],
+        &rows,
+    );
+    println!(
+        "\nshape: while responses fit inside the window, zero full waits occur\n\
+         and mean latency tracks the link. Once the response time exceeds the\n\
+         window, every cold open is swept to a 5 s retry — the paper's 133 ms\n\
+         choice is ~1000x the typical LAN response, hence 'comfortable'."
+    );
+}

@@ -1,0 +1,92 @@
+//! Ablation A16 — "[Scalla's] scalability is weakly dependent on the
+//! number of currently popular files but completely independent of the
+//! number of files available" (§V).
+//!
+//! We drive one cmsd cache with a Zipf-popular request stream for a fixed
+//! duration, sweeping (a) the total namespace size at a fixed popular set
+//! and (b) the popularity skew at a fixed namespace. The cache population
+//! must track the *requested working set*, never the namespace.
+
+use bench::table;
+use scalla_cache::{AccessMode, CacheConfig, NameCache, Waiter};
+use scalla_sim::ZipfSampler;
+use scalla_util::{Clock, Nanos, ServerSet, VirtualClock};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Runs `reqs_per_sec` Zipf(alpha) requests over `namespace` files for one
+/// full lifetime; returns (distinct files touched, final cache population).
+fn run(namespace: usize, alpha: f64, reqs_per_sec: u64) -> (usize, usize) {
+    let clock = Arc::new(VirtualClock::new());
+    let lifetime = Nanos::from_secs(640);
+    let cfg = CacheConfig { lifetime, ..CacheConfig::default() };
+    let window = cfg.window_period();
+    let cache = NameCache::new(cfg, clock.clone());
+    let vm = ServerSet::first_n(32);
+    let mut zipf = ZipfSampler::new(namespace, alpha, 16);
+    let mut touched = HashSet::new();
+    let mut next_tick = window;
+    let secs = lifetime.0 / 1_000_000_000;
+    for _ in 0..secs {
+        for _ in 0..reqs_per_sec {
+            let rank = zipf.sample();
+            touched.insert(rank);
+            cache.resolve(&format!("/ns/f{rank}"), vm, AccessMode::Read, Waiter::new(1, 0));
+        }
+        clock.advance(Nanos::from_secs(1));
+        cache.sweep();
+        while clock.now() >= next_tick {
+            cache.tick();
+            cache.collect(usize::MAX);
+            next_tick += window;
+        }
+    }
+    (touched.len(), cache.len())
+}
+
+fn main() {
+    println!(
+        "A16 (ablation): cache population vs namespace size and popularity\n\
+         (paper §V: scalability weakly dependent on popular files, completely\n\
+         independent of files available)"
+    );
+
+    // (a) Namespace sweep at fixed popularity.
+    let mut rows = Vec::new();
+    for &ns in &[10_000usize, 100_000, 1_000_000, 10_000_000] {
+        let (touched, cached) = run(ns, 1.1, 100);
+        rows.push(vec![
+            ns.to_string(),
+            touched.to_string(),
+            cached.to_string(),
+            format!("{:.2}%", 100.0 * cached as f64 / ns as f64),
+        ]);
+    }
+    table(
+        "namespace sweep (Zipf alpha=1.1, 100 req/s, one lifetime)",
+        &["namespace files", "distinct requested", "cached objects", "cached/namespace"],
+        &rows,
+    );
+
+    // (b) Popularity sweep at fixed namespace.
+    let mut rows = Vec::new();
+    for &alpha in &[0.0f64, 0.8, 1.1, 1.5] {
+        let (touched, cached) = run(1_000_000, alpha, 100);
+        rows.push(vec![
+            format!("{alpha:.1}"),
+            touched.to_string(),
+            cached.to_string(),
+        ]);
+    }
+    table(
+        "popularity sweep (1M-file namespace, 100 req/s)",
+        &["zipf alpha", "distinct requested", "cached objects"],
+        &rows,
+    );
+    println!(
+        "\npaper shape: the cached-object count follows the distinct requested\n\
+         set (bounded by rate x lifetime) and the cached/namespace ratio\n\
+         collapses as the namespace grows — the cache never scales with the\n\
+         number of files available, only with what is currently popular."
+    );
+}

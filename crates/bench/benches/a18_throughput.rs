@@ -1,0 +1,106 @@
+//! Ablation A18 — the motivating requirement: "any new file access system
+//! needed to sustain thousands of transactions per second" from "a
+//! thousand or more simultaneous analysis jobs" (§II-A).
+//!
+//! Two views:
+//! 1. cluster-level: hundreds of concurrent clients against one manager
+//!    on the simulated fabric; sustained completed-operations per
+//!    simulated second;
+//! 2. cmsd-level ceiling: the measured per-request service demand (E3)
+//!    inverted into a single-node transaction ceiling.
+
+use bench::table;
+use scalla_client::{ClientOp, OpOutcome};
+use scalla_cache::{AccessMode, CacheConfig, NameCache, Resolution, Waiter};
+use scalla_simnet::LatencyModel;
+use scalla_sim::{ClusterConfig, SimCluster};
+use scalla_util::{Nanos, ServerSet, SystemClock};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn cluster_throughput(n_clients: usize) -> (u64, f64) {
+    let mut cfg = ClusterConfig::flat(64);
+    cfg.latency = LatencyModel::fixed(Nanos::from_micros(25));
+    cfg.seed = 18;
+    let mut cluster = SimCluster::build(cfg);
+    let files = 512usize;
+    for i in 0..files {
+        cluster.seed_file(i % 64, &format!("/tp/f{i}"), 1, true);
+    }
+    cluster.settle(Nanos::from_secs(2));
+    let ops_per_client = 50usize;
+    let mut clients = Vec::new();
+    for c in 0..n_clients {
+        let ops: Vec<ClientOp> = (0..ops_per_client)
+            .map(|k| ClientOp::Open { path: format!("/tp/f{}", (c * 13 + k * 7) % files), write: false })
+            .collect();
+        let a = cluster.add_client(ops, Nanos::from_micros(c as u64));
+        cluster.start_node(a);
+        clients.push(a);
+    }
+    let t0 = cluster.net.now();
+    cluster.net.run_for(Nanos::from_secs(120));
+    let mut ok = 0u64;
+    let mut last_end = t0;
+    for a in clients {
+        for r in cluster.client_results(a) {
+            if r.outcome == OpOutcome::Ok {
+                ok += 1;
+                last_end = last_end.max(r.end);
+            }
+        }
+    }
+    let span = last_end.since(t0).as_secs_f64().max(1e-9);
+    (ok, ok as f64 / span)
+}
+
+fn main() {
+    println!(
+        "A18: sustained transactions per second (paper requirement §II-A:\n\
+         'thousands of transactions per second' from 1000+ jobs)"
+    );
+    let mut rows = Vec::new();
+    for &n in &[16usize, 64, 256, 1024] {
+        let (ok, tps) = cluster_throughput(n);
+        rows.push(vec![
+            n.to_string(),
+            ok.to_string(),
+            format!("{:.0}", tps),
+        ]);
+    }
+    table(
+        "simulated cluster: 64 servers, warm opens, 50 ops/client",
+        &["concurrent clients", "ops completed", "sustained tx/s"],
+        &rows,
+    );
+
+    // Single-cmsd ceiling from the real cache.
+    let cache = NameCache::new(CacheConfig::default(), Arc::new(SystemClock::new()));
+    let vm = ServerSet::first_n(64);
+    for i in 0..10_000u64 {
+        let p = format!("/tp/f{i}");
+        cache.resolve(&p, vm, AccessMode::Read, Waiter::new(1, i));
+        cache.update_have(&p, (i % 64) as u8, false);
+    }
+    let iters = 300_000u64;
+    let t0 = Instant::now();
+    let mut hits = 0u64;
+    for i in 0..iters {
+        let p = format!("/tp/f{}", i % 10_000);
+        if matches!(
+            cache.resolve(&p, vm, AccessMode::Read, Waiter::new(2, i)).resolution,
+            Resolution::Redirect { .. }
+        ) {
+            hits += 1;
+        }
+    }
+    let per_op = t0.elapsed().as_nanos() as f64 / iters as f64;
+    assert_eq!(hits, iters);
+    println!(
+        "\nsingle-cmsd ceiling: {per_op:.0} ns/transaction -> {:.2}M tx/s on one\n\
+         core — three orders of magnitude above the paper's 'thousands per\n\
+         second' requirement, which is why the requirement was met with\n\
+         commodity hardware.",
+        1e3 / per_op
+    );
+}

@@ -1,0 +1,92 @@
+//! E5 — "the cost of cache maintenance is equally spread across L_t and
+//! overhead scales linearly with the number of entries; on average only
+//! 1.6% of the cache is processed at any one time" (§III-A3). Hiding is
+//! trivial; physical removal is background work with "minimal interference
+//! with cache look-ups".
+//!
+//! We fill caches of several sizes uniformly across the 64 windows, then
+//! measure (a) the fraction of entries scanned per tick, (b) the real time
+//! of a tick as size grows (linear), and (c) warm look-up latency with and
+//! without eviction churn in progress.
+
+use bench::table;
+use scalla_cache::{AccessMode, CacheConfig, NameCache, Waiter};
+use scalla_util::{Nanos, ServerSet, VirtualClock};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn fill_across_windows(cache: &NameCache, clock: &Arc<VirtualClock>, n: usize) -> Vec<String> {
+    let vm = ServerSet::first_n(32);
+    let per_window = n / 64;
+    let mut paths = Vec::with_capacity(n);
+    for w in 0..64 {
+        for i in 0..per_window {
+            let p = format!("/w{w}/f{i}");
+            cache.resolve(&p, vm, AccessMode::Read, Waiter::new(1, 0));
+            cache.update_have(&p, (i % 32) as u8, false);
+            paths.push(p);
+        }
+        clock.advance(Nanos::from_secs(1));
+        cache.tick();
+        cache.collect(usize::MAX);
+        cache.sweep();
+    }
+    paths
+}
+
+fn main() {
+    println!(
+        "E5: sliding-window eviction (paper: ~1.6% of cache per tick, linear\n\
+         overhead, minimal interference with look-ups)"
+    );
+    let mut rows = Vec::new();
+    for &n in &[64_000usize, 256_000, 1_024_000] {
+        let clock = Arc::new(VirtualClock::new());
+        // 1 s windows for the driver.
+        let cfg = CacheConfig { lifetime: Nanos::from_secs(64), ..CacheConfig::default() };
+        let cache = NameCache::new(cfg, clock.clone());
+        let paths = fill_across_windows(&cache, &clock, n);
+        let live_before = cache.len();
+
+        // One steady-state tick: scans exactly one window's chain.
+        clock.advance(Nanos::from_secs(1));
+        let t0 = Instant::now();
+        let out = cache.tick();
+        let tick_time = t0.elapsed();
+        let scanned_pct = 100.0 * out.scanned as f64 / live_before as f64;
+
+        // Background collection cost (physical removal).
+        let t1 = Instant::now();
+        cache.collect(usize::MAX);
+        let collect_time = t1.elapsed();
+
+        // Look-up latency while eviction churn continues.
+        let vm = ServerSet::first_n(32);
+        let sample = 50_000usize;
+        let t2 = Instant::now();
+        for i in 0..sample {
+            let p = &paths[(i * 7919) % paths.len()];
+            cache.resolve(p, vm, AccessMode::Read, Waiter::new(2, i as u64));
+        }
+        let lookup_ns = t2.elapsed().as_nanos() as u64 / sample as u64;
+
+        rows.push(vec![
+            n.to_string(),
+            out.scanned.to_string(),
+            format!("{scanned_pct:.2}%"),
+            format!("{:.2} us", tick_time.as_nanos() as f64 / 1e3),
+            format!("{:.2} us", collect_time.as_nanos() as f64 / 1e3),
+            format!("{lookup_ns} ns"),
+        ]);
+    }
+    table(
+        "steady-state tick cost vs cache size",
+        &["entries", "scanned/tick", "% of cache", "tick (hide)", "collect (bg)", "lookup during churn"],
+        &rows,
+    );
+    println!(
+        "\npaper shape: the scanned fraction sits at ~1/64 = 1.6% regardless of\n\
+         size; tick time grows linearly with entries; look-up latency is flat\n\
+         because hiding only zeroes a key length and removal is background work."
+    );
+}

@@ -1,0 +1,110 @@
+//! E10 — "By foregoing persistent state and only caching file
+//! recently-requested, Scalla clusters of hundreds of nodes can begin
+//! serve files within seconds of restarting" (§V).
+//!
+//! Cold-start clusters of increasing size and measure the time from t=0
+//! (every process just started, nothing logged in) until a client's first
+//! successful open. Compared against the same cluster joining GFS-style,
+//! where the master cannot serve until manifests are ingested.
+
+use bench::table;
+use scalla_client::{ClientConfig, ClientNode, ClientOp, OpOutcome};
+use scalla_client::Directory;
+use scalla_node::{JoinStyle, ServerConfig, ServerNode};
+use scalla_baseline::{GfsMasterConfig, GfsMasterNode};
+use scalla_simnet::{LatencyModel, SimNet};
+use scalla_util::Nanos;
+use std::sync::Arc;
+
+/// Script that retries the open until it succeeds (restart probing).
+fn probing_ops(path: &str, attempts: usize) -> Vec<ClientOp> {
+    let mut ops = Vec::new();
+    for _ in 0..attempts {
+        ops.push(ClientOp::Open { path: path.into(), write: false });
+        ops.push(ClientOp::Sleep { duration: Nanos::from_millis(200) });
+    }
+    ops
+}
+
+fn first_ok(results: &[scalla_client::OpResult]) -> Option<Nanos> {
+    results
+        .iter()
+        .find(|r| r.outcome == OpOutcome::Ok && r.path != "<sleep>")
+        .map(|r| r.end)
+}
+
+fn scalla_restart(n_servers: usize, _files_per_server: usize) -> Option<Nanos> {
+    // A real tree (fanout 64 inserts supervisors above 64 servers); the
+    // probing client is registered before start so t = 0 is the restart.
+    let mut cfg = scalla_sim::ClusterConfig::flat(n_servers);
+    cfg.latency = LatencyModel::fixed(Nanos::from_micros(25));
+    cfg.seed = 10;
+    let mut cluster = scalla_sim::SimCluster::build(cfg);
+    let target_idx = n_servers - 1;
+    let target = format!("/d/s{target_idx}/f0");
+    cluster.seed_file(target_idx, &target, 1, true);
+    let client = cluster.add_client_with(|cc| {
+        cc.ops = probing_ops(&target, 100);
+        cc.request_timeout = Nanos::from_secs(2);
+    });
+    cluster.net.start(); // t = 0: everything restarts simultaneously
+    cluster.net.run_for(Nanos::from_secs(300));
+    let _ = client;
+    let results = cluster.client_results(client);
+    first_ok(&results)
+}
+
+fn gfs_restart(n_servers: usize, files_per_server: usize) -> Option<Nanos> {
+    let mut net = SimNet::new(LatencyModel::fixed(Nanos::from_micros(25)), 10);
+    let directory = Arc::new(Directory::new());
+    let master = net.add_node(Box::new(GfsMasterNode::new(GfsMasterConfig::default())));
+    directory.register("master", master);
+    for i in 0..n_servers {
+        let name = format!("srv-{i}");
+        let mut cfg = ServerConfig::new(&name, master);
+        cfg.join = JoinStyle::FullManifest;
+        let mut node = ServerNode::new(cfg);
+        for f in 0..files_per_server {
+            node.fs_mut().put_online(&format!("/d/s{i}/f{f}"), 1);
+        }
+        let addr = net.add_node(Box::new(node));
+        directory.register(&name, addr);
+    }
+    let target = format!("/d/s{}/f0", n_servers - 1);
+    let mut ccfg = ClientConfig::new(master, directory, probing_ops(&target, 600));
+    ccfg.request_timeout = Nanos::from_secs(2);
+    let client = net.add_node(Box::new(ClientNode::new(ccfg)));
+    net.start();
+    net.run_for(Nanos::from_secs(600));
+    let node = net.node_mut(client).as_any_mut().unwrap();
+    first_ok(node.downcast_ref::<ClientNode>().unwrap().results())
+}
+
+fn main() {
+    println!(
+        "E10: restart-to-first-served-file (paper: hundreds of nodes serving\n\
+         within seconds, because no file state is exchanged at startup)"
+    );
+    let mut rows = Vec::new();
+    for &(n, files) in &[(16usize, 5_000usize), (64, 5_000), (64, 20_000), (256, 5_000)] {
+        let scalla = scalla_restart(n, 1); // file count is irrelevant to Scalla
+        let gfs = gfs_restart(n, files);
+        rows.push(vec![
+            n.to_string(),
+            files.to_string(),
+            scalla.map(|t| format!("{t}")).unwrap_or_else(|| ">300 s".into()),
+            gfs.map(|t| format!("{t}")).unwrap_or_else(|| ">600 s".into()),
+        ]);
+    }
+    table(
+        "time from cold start to first successful open",
+        &["servers", "files/server", "scalla (prefix join)", "gfs-style (manifest join)"],
+        &rows,
+    );
+    println!(
+        "\npaper shape: Scalla's column is flat in both axes — logins are\n\
+         constant-size, so first service lands within the first full-delay\n\
+         window regardless of cluster or namespace size. The manifest column\n\
+         grows with files/server (ingest) and stays far above Scalla."
+    );
+}

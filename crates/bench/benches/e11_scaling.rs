@@ -1,0 +1,78 @@
+//! E11 — "it takes only O(1) time per set or tree node to locate a file.
+//! It follows that the upper time limit in any sized cluster is
+//! O(log64(number of servers))" (§II-B1); "as the number of nodes
+//! increases, search performance increases at an exponential rate" (§VI).
+//!
+//! We build clusters of growing size at fanout 8 (so depth grows within a
+//! simulable node count), measure warm and cold opens at the deepest
+//! server, and tabulate the analytic depth for fanout-64 clusters up to
+//! 16.7M servers.
+
+use bench::{ns, run_ops, std_cluster, table};
+use scalla_client::{ClientOp, OpOutcome};
+use scalla_cluster::TreeSpec;
+use scalla_util::Nanos;
+
+fn measure(n_servers: usize, fanout: usize) -> (usize, Nanos, Nanos, u32) {
+    let mut cluster = std_cluster(n_servers, fanout, 11);
+    let target = n_servers - 1;
+    cluster.seed_file(target, "/deep/f", 1, true);
+    cluster.settle(Nanos::from_secs(3));
+    let ops = vec![
+        ClientOp::Open { path: "/deep/f".into(), write: false }, // cold
+        ClientOp::Open { path: "/deep/f".into(), write: false }, // warm
+        ClientOp::Open { path: "/deep/f".into(), write: false },
+    ];
+    let results = run_ops(&mut cluster, ops, Nanos::from_secs(120));
+    assert!(results.iter().all(|r| r.outcome == OpOutcome::Ok), "{results:?}");
+    let warm = Nanos((results[1].latency().0 + results[2].latency().0) / 2);
+    (cluster.spec.depth(), results[0].latency(), warm, results[1].redirects)
+}
+
+fn main() {
+    println!(
+        "E11: resolution scaling with cluster size (paper: O(log64 N) levels,\n\
+         O(1) per level)"
+    );
+    let mut rows = Vec::new();
+    for &n in &[8usize, 64, 512, 2048] {
+        let (depth, cold, warm, hops) = measure(n, 8);
+        rows.push(vec![
+            n.to_string(),
+            depth.to_string(),
+            hops.to_string(),
+            ns(cold),
+            ns(warm),
+            ns(Nanos(warm.0 / (depth as u64 + 1))),
+        ]);
+    }
+    table(
+        "measured: fanout-8 clusters, 25 us links, deepest server",
+        &["servers", "depth", "hops", "cold open", "warm open", "warm/level"],
+        &rows,
+    );
+
+    // Analytic table at the paper's fanout of 64.
+    let mut rows = Vec::new();
+    for &n in &[64usize, 4_096, 262_144, 16_777_216] {
+        let spec = if n <= 4_096 {
+            TreeSpec::build(n, 64).depth()
+        } else {
+            // Depth formula: ceil(log64 n).
+            (n as f64).log(64.0).ceil() as usize
+        };
+        // Warm latency model: depth+1 request/response pairs at 25 us.
+        let warm_est = Nanos::from_micros(2 * 25 * (spec as u64 + 1));
+        rows.push(vec![n.to_string(), spec.to_string(), format!("~{}", warm_est)]);
+    }
+    table(
+        "analytic: fanout-64 (the paper's geometry)",
+        &["servers", "levels", "warm open (est)"],
+        &rows,
+    );
+    println!(
+        "\npaper shape: hops equal tree depth; depth grows logarithmically while\n\
+         capacity grows exponentially (64x per added level), and per-level cost\n\
+         stays constant."
+    );
+}

@@ -1,0 +1,106 @@
+//! E14 — "If more than one node has the file, a selection is made based
+//! on configuration defined criteria (e.g., load, selection frequency,
+//! space, etc.)" (§II-B3).
+//!
+//! A file replicated on 8 of 16 servers is opened 480 times under each
+//! policy; we report how the selections spread across the replicas and
+//! whether the policy honours its criterion (least-load avoids the loaded
+//! server, most-free-space prefers the empty one).
+
+use bench::{run_ops, table};
+use scalla_client::{ClientOp, OpOutcome};
+use scalla_cluster::SelectionPolicy;
+use scalla_simnet::LatencyModel;
+use scalla_sim::{ClusterConfig, SimCluster};
+use scalla_util::Nanos;
+use std::collections::HashMap;
+
+const OPENS: usize = 480;
+
+fn run(policy: SelectionPolicy) -> HashMap<String, usize> {
+    let mut cfg = ClusterConfig::flat(16);
+    cfg.latency = LatencyModel::fixed(Nanos::from_micros(25));
+    cfg.policy = policy;
+    cfg.seed = 14;
+    let mut cluster = SimCluster::build(cfg);
+    for i in 0..8 {
+        // Replicas on even servers; odd servers hold chaff.
+        cluster.seed_file(i * 2, "/hot/f", 1 << 20, true);
+    }
+    // Skew the load/space reports: srv-0 heavily loaded, srv-14 empty.
+    cluster.settle(Nanos::from_secs(2));
+    for i in 0..16 {
+        let load = if i == 0 { 1_000 } else { 10 };
+        let free = if i == 14 { 1 << 40 } else { 1 << 30 };
+        cluster.with_server(i, |_s| {});
+        let mgr = cluster.managers[0];
+        cluster.with_cmsd(mgr, |n| {
+            // Reports normally arrive via heartbeats; inject directly so
+            // the skew is exact and immediate.
+            let _ = n;
+        });
+        // Drive through the protocol instead: servers report via
+        // heartbeat; override by injecting a LoadReport.
+        let server_addr = cluster.servers[i];
+        cluster.net.inject(
+            server_addr,
+            mgr,
+            scalla_proto::CmsMsg::LoadReport { load, free_bytes: free }.into(),
+        );
+    }
+    cluster.net.run_for(Nanos::from_millis(10));
+
+    let ops: Vec<ClientOp> =
+        (0..OPENS).map(|_| ClientOp::Open { path: "/hot/f".into(), write: false }).collect();
+    let results = run_ops(&mut cluster, ops, Nanos::from_secs(600));
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    for r in &results {
+        assert_eq!(r.outcome, OpOutcome::Ok);
+        *counts.entry(r.server.clone().unwrap()).or_default() += 1;
+    }
+    counts
+}
+
+fn spread(counts: &HashMap<String, usize>) -> (usize, usize, usize) {
+    let min = counts.values().copied().min().unwrap_or(0);
+    let max = counts.values().copied().max().unwrap_or(0);
+    (counts.len(), min, max)
+}
+
+fn main() {
+    println!(
+        "E14: selection criteria (paper: pick by load, selection frequency,\n\
+         space, etc. when multiple nodes hold the file)"
+    );
+    let mut rows = Vec::new();
+    for policy in [
+        SelectionPolicy::RoundRobin,
+        SelectionPolicy::Random,
+        SelectionPolicy::LeastSelected,
+        SelectionPolicy::LeastLoad,
+        SelectionPolicy::MostFreeSpace,
+    ] {
+        let counts = run(policy);
+        let (used, min, max) = spread(&counts);
+        let srv0 = counts.get("srv-0").copied().unwrap_or(0);
+        let srv14 = counts.get("srv-14").copied().unwrap_or(0);
+        rows.push(vec![
+            format!("{policy:?}"),
+            used.to_string(),
+            min.to_string(),
+            max.to_string(),
+            srv0.to_string(),
+            srv14.to_string(),
+        ]);
+    }
+    table(
+        &format!("{OPENS} opens of a file replicated on 8 of 16 servers"),
+        &["policy", "replicas used", "min/replica", "max/replica", "srv-0 (loaded)", "srv-14 (most space)"],
+        &rows,
+    );
+    println!(
+        "\npaper shape: balancing policies (round-robin, random, least-selected)\n\
+         spread ~60/replica across all 8; least-load starves the loaded srv-0;\n\
+         most-free-space concentrates on srv-14."
+    );
+}

@@ -1,0 +1,82 @@
+//! Shared experiment-harness support.
+//!
+//! Every `e<NN>_*` bench target reproduces one quantitative claim of the
+//! paper (the index lives in DESIGN.md §3 and results in EXPERIMENTS.md).
+//! This library provides the shared plumbing: table printing, standard
+//! cluster construction, and measurement loops over the simulated network.
+
+use scalla_client::{ClientOp, OpOutcome, OpResult};
+use scalla_sim::{ClusterConfig, SimCluster};
+use scalla_simnet::LatencyModel;
+use scalla_util::{Histogram, Nanos};
+
+/// Prints an aligned experiment table.
+pub fn table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!(
+        "{}",
+        fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// The standard experiment cluster: fixed 25 µs links (so latency tables
+/// are exact), fast heartbeats, paper-default cache tuning.
+pub fn std_cluster(n_servers: usize, fanout: usize, seed: u64) -> SimCluster {
+    let mut cfg = ClusterConfig::flat(n_servers);
+    cfg.fanout = fanout;
+    cfg.latency = LatencyModel::fixed(Nanos::from_micros(25));
+    cfg.seed = seed;
+    SimCluster::build(cfg)
+}
+
+/// Runs `ops` through one client on `cluster` for up to `budget` of
+/// virtual time and returns the records.
+pub fn run_ops(cluster: &mut SimCluster, ops: Vec<ClientOp>, budget: Nanos) -> Vec<OpResult> {
+    let client = cluster.add_client(ops, Nanos::ZERO);
+    cluster.start_node(client);
+    cluster.net.run_for(budget);
+    cluster.client_results(client)
+}
+
+/// Builds a histogram over the latencies of successful results.
+pub fn ok_latency_hist<'a>(results: impl IntoIterator<Item = &'a OpResult>) -> Histogram {
+    let mut h = Histogram::new();
+    for r in results {
+        if r.outcome == OpOutcome::Ok && r.path != "<sleep>" {
+            h.record(r.latency());
+        }
+    }
+    h
+}
+
+/// Formats nanoseconds compactly for table cells.
+pub fn ns(v: Nanos) -> String {
+    format!("{v}")
+}
+
+/// Mean of a float slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}

@@ -1,0 +1,165 @@
+//! Eager re-chaining baseline (§III-C1 ablation).
+//!
+//! The paper defers moving a refreshed location object between window
+//! chains: "a single linear-cost task can re-chain all objects whose `T_a`
+//! has changed, where re-chaining each object individually results in a
+//! more quadratic cost." This module implements that individual, eager
+//! strategy: every refresh unlinks the object from its current singly-
+//! linked chain (a walk proportional to the chain length) and pushes it
+//! onto the current window's chain. Experiment E8 measures both.
+//!
+//! The public surface mirrors
+//! [`WindowRing`](crate::window::WindowRing) so the experiment can
+//! drive the two identically.
+
+use crate::config::WINDOW_COUNT;
+use crate::slab::{LocSlab, NIL};
+use crate::window::TickOutcome;
+
+/// A window ring that re-chains eagerly on refresh.
+pub struct EagerWindowRing {
+    heads: [u32; WINDOW_COUNT],
+    tw: u8,
+    /// Total chain-link steps performed by unlink walks (the cost the
+    /// deferred strategy avoids).
+    pub unlink_steps: u64,
+}
+
+impl EagerWindowRing {
+    /// Creates a ring at window 0.
+    pub fn new() -> EagerWindowRing {
+        EagerWindowRing { heads: [NIL; WINDOW_COUNT], tw: 0, unlink_steps: 0 }
+    }
+
+    /// The current window index.
+    pub fn current(&self) -> u8 {
+        self.tw
+    }
+
+    /// Chains `slot` into the current window (same as the deferred ring).
+    pub fn chain_now(&mut self, slab: &mut LocSlab, slot: u32) {
+        let w = self.tw;
+        let e = slab.get_mut(slot);
+        e.ta = w;
+        e.chained_in = w;
+        e.wnext = self.heads[w as usize];
+        self.heads[w as usize] = slot;
+    }
+
+    /// Eager refresh: unlink from the old chain *now* (walking it), then
+    /// chain into the current window.
+    pub fn refresh_stamp(&mut self, slab: &mut LocSlab, slot: u32) {
+        let old = slab.get(slot).chained_in;
+        // Unlink: singly-linked, so walk from the head.
+        let mut cur = self.heads[old as usize];
+        if cur == slot {
+            self.heads[old as usize] = slab.get(slot).wnext;
+        } else {
+            while cur != NIL {
+                self.unlink_steps += 1;
+                let next = slab.get(cur).wnext;
+                if next == slot {
+                    let skip = slab.get(slot).wnext;
+                    slab.get_mut(cur).wnext = skip;
+                    break;
+                }
+                cur = next;
+            }
+        }
+        self.chain_now(slab, slot);
+    }
+
+    /// Tick: identical expiry semantics to the deferred ring, but no
+    /// re-chaining ever happens here (refreshes already moved).
+    pub fn tick(&mut self, slab: &mut LocSlab) -> TickOutcome {
+        self.tw = ((self.tw as usize + 1) % WINDOW_COUNT) as u8;
+        let w = self.tw;
+        let mut out = TickOutcome { new_window: w, ..TickOutcome::default() };
+        let mut cur = std::mem::replace(&mut self.heads[w as usize], NIL);
+        while cur != NIL {
+            out.scanned += 1;
+            let next = slab.get(cur).wnext;
+            let e = slab.get_mut(cur);
+            if e.in_use && e.ta == w {
+                e.hide();
+                out.expired.push(cur);
+            } else if e.in_use {
+                // Should not happen under eager re-chaining, but keep the
+                // entry alive if it does.
+                let ta = e.ta;
+                e.chained_in = ta;
+                e.wnext = self.heads[ta as usize];
+                self.heads[ta as usize] = cur;
+                out.rechained += 1;
+            }
+            cur = next;
+        }
+        out
+    }
+}
+
+impl Default for EagerWindowRing {
+    fn default() -> EagerWindowRing {
+        EagerWindowRing::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alloc(slab: &mut LocSlab, name: &str) -> u32 {
+        slab.alloc(name, scalla_util::crc32(name.as_bytes()))
+    }
+
+    #[test]
+    fn expiry_after_full_lifetime() {
+        let mut slab = LocSlab::new();
+        let mut ring = EagerWindowRing::new();
+        let slot = alloc(&mut slab, "/f");
+        ring.chain_now(&mut slab, slot);
+        for _ in 0..63 {
+            assert!(ring.tick(&mut slab).expired.is_empty());
+        }
+        assert_eq!(ring.tick(&mut slab).expired, vec![slot]);
+    }
+
+    #[test]
+    fn refresh_moves_immediately_and_extends_life() {
+        let mut slab = LocSlab::new();
+        let mut ring = EagerWindowRing::new();
+        let slot = alloc(&mut slab, "/f");
+        ring.chain_now(&mut slab, slot);
+        for _ in 0..32 {
+            ring.tick(&mut slab);
+        }
+        ring.refresh_stamp(&mut slab, slot);
+        assert_eq!(slab.get(slot).chained_in, ring.current(), "moved eagerly");
+        for _ in 0..63 {
+            let out = ring.tick(&mut slab);
+            assert!(out.expired.is_empty());
+            assert_eq!(out.rechained, 0, "eager ring never defers");
+        }
+        assert_eq!(ring.tick(&mut slab).expired, vec![slot]);
+    }
+
+    #[test]
+    fn unlink_walk_cost_grows_with_chain_depth() {
+        // N entries in one window; refreshing the oldest (deepest) repeatedly
+        // forces long unlink walks — the quadratic regime.
+        let mut slab = LocSlab::new();
+        let mut ring = EagerWindowRing::new();
+        let n = 1_000;
+        let slots: Vec<u32> = (0..n).map(|i| {
+            let s = alloc(&mut slab, &format!("/f{i}"));
+            ring.chain_now(&mut slab, s);
+            s
+        }).collect();
+        ring.tick(&mut slab); // move off the build window
+        let before = ring.unlink_steps;
+        // Refresh the first-inserted entry: it sits at chain tail.
+        ring.refresh_stamp(&mut slab, slots[0]);
+        let cost_deep = ring.unlink_steps - before;
+        assert!(cost_deep >= (n - 2) as u64, "tail unlink walks ~N links: {cost_deep}");
+    }
+}

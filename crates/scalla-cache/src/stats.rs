@@ -1,0 +1,212 @@
+//! Cache statistics counters.
+//!
+//! Everything the experiments need to observe — hit rates, correction
+//! behaviour, eviction load, fast-queue effectiveness — is counted here with
+//! relaxed atomics so reading them never perturbs the hot paths.
+
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic event counters. All loads/stores are `Relaxed`; the counters
+/// are advisory, not synchronization.
+#[derive(Default, Debug)]
+pub struct CacheStats {
+    /// Total `resolve` calls.
+    pub lookups: AtomicU64,
+    /// Resolutions satisfied from cache with an immediate redirect.
+    pub hits: AtomicU64,
+    /// Resolutions that created a new location object.
+    pub misses: AtomicU64,
+    /// Location objects created (misses plus server-response backfills).
+    pub creates: AtomicU64,
+    /// Objects hidden by window expiry.
+    pub evictions: AtomicU64,
+    /// Objects physically removed by background collection.
+    pub collected: AtomicU64,
+    /// Entries moved between window chains by the deferred re-chaining
+    /// sweep.
+    pub rechained: AtomicU64,
+    /// Fetch-time corrections where `C_n == N_c` (no work).
+    pub corrections_clean: AtomicU64,
+    /// Corrections satisfied from the per-window `V_wc` memo.
+    pub corrections_memo: AtomicU64,
+    /// Corrections that had to scan `C[]`.
+    pub corrections_computed: AtomicU64,
+    /// Hash-table growths.
+    pub resizes: AtomicU64,
+    /// Waiters enqueued on the fast response queue.
+    pub queued_waiters: AtomicU64,
+    /// Waiters released early by a server response (the fast path).
+    pub fast_releases: AtomicU64,
+    /// Waiters timed out of the fast queue (full delay imposed).
+    pub queue_timeouts: AtomicU64,
+    /// Resolutions rejected because the fast queue was full.
+    pub queue_full: AtomicU64,
+    /// Stale `LocRef` uses detected by the authenticator.
+    pub stale_refs: AtomicU64,
+    /// Refresh requests processed.
+    pub refreshes: AtomicU64,
+}
+
+impl CacheStats {
+    #[inline]
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Snapshot of a counter.
+    #[inline]
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+
+    /// Takes a coherent-enough point-in-time copy of every counter (each
+    /// load is atomic; the set is advisory).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let g = CacheStats::get;
+        StatsSnapshot {
+            lookups: g(&self.lookups),
+            hits: g(&self.hits),
+            misses: g(&self.misses),
+            creates: g(&self.creates),
+            evictions: g(&self.evictions),
+            collected: g(&self.collected),
+            rechained: g(&self.rechained),
+            corrections_clean: g(&self.corrections_clean),
+            corrections_memo: g(&self.corrections_memo),
+            corrections_computed: g(&self.corrections_computed),
+            resizes: g(&self.resizes),
+            queued_waiters: g(&self.queued_waiters),
+            fast_releases: g(&self.fast_releases),
+            queue_timeouts: g(&self.queue_timeouts),
+            queue_full: g(&self.queue_full),
+            stale_refs: g(&self.stale_refs),
+            refreshes: g(&self.refreshes),
+        }
+    }
+
+    /// Human-readable multi-line dump for experiment logs.
+    pub fn report(&self) -> String {
+        let g = CacheStats::get;
+        format!(
+            "lookups={} hits={} misses={} creates={} evictions={} collected={} \
+             rechained={} corr_clean={} corr_memo={} corr_computed={} resizes={} \
+             queued={} fast_releases={} timeouts={} queue_full={} stale_refs={} refreshes={}",
+            g(&self.lookups),
+            g(&self.hits),
+            g(&self.misses),
+            g(&self.creates),
+            g(&self.evictions),
+            g(&self.collected),
+            g(&self.rechained),
+            g(&self.corrections_clean),
+            g(&self.corrections_memo),
+            g(&self.corrections_computed),
+            g(&self.resizes),
+            g(&self.queued_waiters),
+            g(&self.fast_releases),
+            g(&self.queue_timeouts),
+            g(&self.queue_full),
+            g(&self.stale_refs),
+            g(&self.refreshes),
+        )
+    }
+}
+
+/// Plain-value copy of [`CacheStats`], serializable for monitoring
+/// pipelines.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct StatsSnapshot {
+    /// See [`CacheStats::lookups`].
+    pub lookups: u64,
+    /// See [`CacheStats::hits`].
+    pub hits: u64,
+    /// See [`CacheStats::misses`].
+    pub misses: u64,
+    /// See [`CacheStats::creates`].
+    pub creates: u64,
+    /// See [`CacheStats::evictions`].
+    pub evictions: u64,
+    /// See [`CacheStats::collected`].
+    pub collected: u64,
+    /// See [`CacheStats::rechained`].
+    pub rechained: u64,
+    /// See [`CacheStats::corrections_clean`].
+    pub corrections_clean: u64,
+    /// See [`CacheStats::corrections_memo`].
+    pub corrections_memo: u64,
+    /// See [`CacheStats::corrections_computed`].
+    pub corrections_computed: u64,
+    /// See [`CacheStats::resizes`].
+    pub resizes: u64,
+    /// See [`CacheStats::queued_waiters`].
+    pub queued_waiters: u64,
+    /// See [`CacheStats::fast_releases`].
+    pub fast_releases: u64,
+    /// See [`CacheStats::queue_timeouts`].
+    pub queue_timeouts: u64,
+    /// See [`CacheStats::queue_full`].
+    pub queue_full: u64,
+    /// See [`CacheStats::stale_refs`].
+    pub stale_refs: u64,
+    /// See [`CacheStats::refreshes`].
+    pub refreshes: u64,
+}
+
+impl StatsSnapshot {
+    /// Cache hit ratio over resolutions, in `[0, 1]`.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+
+    /// Fraction of corrections satisfied without scanning `C[]`.
+    pub fn correction_memo_ratio(&self) -> f64 {
+        let dirty = self.corrections_memo + self.corrections_computed;
+        if dirty == 0 {
+            1.0
+        } else {
+            self.corrections_memo as f64 / dirty as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = CacheStats::default();
+        CacheStats::bump(&s.lookups);
+        CacheStats::add(&s.lookups, 4);
+        assert_eq!(CacheStats::get(&s.lookups), 5);
+        assert!(s.report().contains("lookups=5"));
+    }
+
+    #[test]
+    fn snapshot_copies_everything() {
+        let s = CacheStats::default();
+        CacheStats::add(&s.lookups, 10);
+        CacheStats::add(&s.hits, 4);
+        CacheStats::add(&s.corrections_memo, 3);
+        CacheStats::add(&s.corrections_computed, 1);
+        let snap = s.snapshot();
+        assert_eq!(snap.lookups, 10);
+        assert_eq!(snap.hits, 4);
+        assert!((snap.hit_ratio() - 0.4).abs() < 1e-12);
+        assert!((snap.correction_memo_ratio() - 0.75).abs() < 1e-12);
+        // Ratios degrade gracefully on empty snapshots.
+        let empty = StatsSnapshot::default();
+        assert_eq!(empty.hit_ratio(), 0.0);
+        assert_eq!(empty.correction_memo_ratio(), 1.0);
+    }
+}

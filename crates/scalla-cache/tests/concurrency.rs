@@ -1,0 +1,174 @@
+//! Real-thread stress of the NameCache: resolvers, responders, the window
+//! tick, background collection, and the fast-queue sweep all running
+//! concurrently under the system clock. Exercises the lock ordering
+//! (cache → response queue) and the loose coupling the paper relies on —
+//! any deadlock hangs the test, any unsoundness trips an assert.
+
+use scalla_cache::{AccessMode, CacheConfig, NameCache, Resolution, Waiter};
+use scalla_util::{Nanos, ServerSet, SystemClock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[test]
+fn concurrent_resolvers_responders_and_maintenance() {
+    let clock = Arc::new(SystemClock::new());
+    let cfg = CacheConfig {
+        lifetime: Nanos::from_millis(640), // 10 ms windows: heavy churn
+        full_delay: Nanos::from_millis(50),
+        fast_window: Nanos::from_millis(5),
+        response_anchors: 1024,
+        initial_table_size: 89,
+        max_load_percent: 80,
+    };
+    let cache = Arc::new(NameCache::new(cfg, clock));
+    let vm = ServerSet::first_n(32);
+    let stop = Arc::new(AtomicBool::new(false));
+    let redirects = Arc::new(AtomicU64::new(0));
+    let queued = Arc::new(AtomicU64::new(0));
+    let released = Arc::new(AtomicU64::new(0));
+
+    let mut handles = Vec::new();
+
+    // 4 resolver threads over a rotating window of paths.
+    for t in 0..4u64 {
+        let cache = cache.clone();
+        let stop = stop.clone();
+        let redirects = redirects.clone();
+        let queued = queued.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut i = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let path = format!("/c/f{}", (i * 31 + t * 7) % 512);
+                let out = cache.resolve(&path, vm, AccessMode::Read, Waiter::new(t, i));
+                match out.resolution {
+                    Resolution::Redirect { online, preparing } => {
+                        assert!(!(online | preparing).is_empty());
+                        assert!((online | preparing).is_subset(vm));
+                        redirects.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Resolution::Queued => {
+                        queued.fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        }));
+    }
+
+    // 2 responder threads answering for random servers.
+    for t in 0..2u64 {
+        let cache = cache.clone();
+        let stop = stop.clone();
+        let released = released.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut i = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let path = format!("/c/f{}", (i * 17 + t * 3) % 512);
+                let server = ((i + t) % 32) as u8;
+                let rel = cache.update_have(&path, server, i.is_multiple_of(5));
+                for (_, s) in rel {
+                    assert_eq!(s, server);
+                    released.fetch_add(1, Ordering::Relaxed);
+                }
+                i += 1;
+            }
+        }));
+    }
+
+    // Maintenance thread: tick + collect + sweep on a tight schedule.
+    {
+        let cache = cache.clone();
+        let stop = stop.clone();
+        handles.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                cache.tick();
+                cache.collect(4096);
+                cache.sweep();
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }));
+    }
+
+    // Run the melee for a second of wall time.
+    let t0 = Instant::now();
+    while t0.elapsed() < Duration::from_secs(1) {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().expect("no thread may panic");
+    }
+
+    // Liveness + sanity: plenty of operations of each kind completed.
+    assert!(redirects.load(Ordering::Relaxed) > 1_000, "resolvers starved");
+    assert!(released.load(Ordering::Relaxed) > 0, "responders never released");
+    let stats = cache.stats();
+    use scalla_cache::CacheStats as S;
+    assert!(S::get(&stats.evictions) > 0, "churn must evict under 10 ms windows");
+    // Collect everything and verify accounting closes.
+    while cache.collect(usize::MAX) > 0 {}
+    assert!(cache.len() as u64 <= S::get(&stats.creates));
+}
+
+#[test]
+fn queue_exhaustion_recovers_under_concurrency() {
+    // Tiny anchor pool + no responders: waiters must time out via sweep
+    // and the pool must keep cycling without leaking anchors.
+    let clock = Arc::new(SystemClock::new());
+    let cfg = CacheConfig {
+        fast_window: Nanos::from_millis(2),
+        response_anchors: 8,
+        full_delay: Nanos::from_millis(20),
+        ..CacheConfig::for_tests()
+    };
+    let cache = Arc::new(NameCache::new(cfg, clock));
+    let vm = ServerSet::first_n(4);
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for t in 0..3u64 {
+        let cache = cache.clone();
+        let stop = stop.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut i = 0u64;
+            let mut full = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let path = format!("/q/f{}", i % 64);
+                let out = cache.resolve(&path, vm, AccessMode::Read, Waiter::new(t, i));
+                if matches!(out.resolution, Resolution::WaitRetry { .. }) {
+                    full += 1;
+                }
+                i += 1;
+            }
+            full
+        }));
+    }
+    {
+        let cache = cache.clone();
+        let stop = stop.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut n = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                n += cache.sweep().len() as u64;
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            n
+        }));
+    }
+    std::thread::sleep(Duration::from_millis(500));
+    stop.store(true, Ordering::Relaxed);
+    let outcomes: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let swept = *outcomes.last().unwrap();
+    assert!(swept > 0, "sweeper must reclaim anchors");
+    // After a final sweep past the window, the pool must be fully free
+    // again (no leaked associations).
+    std::thread::sleep(Duration::from_millis(5));
+    cache.sweep();
+    let out = cache.resolve("/q/final", ServerSet::first_n(4), AccessMode::Read, Waiter::new(9, 9));
+    assert!(
+        matches!(out.resolution, Resolution::Queued),
+        "anchor pool must have free slots again: {:?}",
+        out.resolution
+    );
+}

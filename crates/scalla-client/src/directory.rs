@@ -1,0 +1,73 @@
+//! Host-name ↔ address directory.
+//!
+//! Redirects carry host *names* (§II-B3); transports deliver to addresses.
+//! In production this mapping is DNS; here it is a shared two-way table the
+//! harness populates as it builds the cluster.
+
+use parking_lot::RwLock;
+use scalla_proto::Addr;
+use std::collections::HashMap;
+
+/// Thread-safe name ↔ address mapping.
+#[derive(Default)]
+pub struct Directory {
+    by_name: RwLock<HashMap<String, Addr>>,
+    by_addr: RwLock<HashMap<Addr, String>>,
+}
+
+impl Directory {
+    /// Creates an empty directory.
+    pub fn new() -> Directory {
+        Directory::default()
+    }
+
+    /// Registers (or updates) a host.
+    pub fn register(&self, name: &str, addr: Addr) {
+        self.by_name.write().insert(name.to_string(), addr);
+        self.by_addr.write().insert(addr, name.to_string());
+    }
+
+    /// Address of `name`, if registered.
+    pub fn addr_of(&self, name: &str) -> Option<Addr> {
+        self.by_name.read().get(name).copied()
+    }
+
+    /// Name of `addr`, if registered.
+    pub fn name_of(&self, addr: Addr) -> Option<String> {
+        self.by_addr.read().get(&addr).cloned()
+    }
+
+    /// Number of registered hosts.
+    pub fn len(&self) -> usize {
+        self.by_name.read().len()
+    }
+
+    /// Whether the directory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_way_mapping() {
+        let d = Directory::new();
+        d.register("srv-0", Addr(10));
+        d.register("srv-1", Addr(11));
+        assert_eq!(d.addr_of("srv-0"), Some(Addr(10)));
+        assert_eq!(d.name_of(Addr(11)), Some("srv-1".to_string()));
+        assert_eq!(d.addr_of("ghost"), None);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn reregistration_updates() {
+        let d = Directory::new();
+        d.register("srv-0", Addr(10));
+        d.register("srv-0", Addr(20));
+        assert_eq!(d.addr_of("srv-0"), Some(Addr(20)));
+    }
+}

@@ -1,0 +1,715 @@
+//! The scripted client state machine.
+
+use crate::directory::Directory;
+use bytes::Bytes;
+use scalla_proto::{Addr, ClientMsg, ErrCode, Msg, ServerMsg};
+use scalla_simnet::{NetCtx, Node};
+use scalla_util::Nanos;
+use std::sync::Arc;
+
+/// One scripted operation.
+#[derive(Clone, Debug)]
+pub enum ClientOp {
+    /// Locate and open `path`, then close. The canonical redirection
+    /// latency measurement.
+    Open {
+        /// File path.
+        path: String,
+        /// Open for write/create.
+        write: bool,
+    },
+    /// Open, read `len` bytes at offset 0, close.
+    OpenRead {
+        /// File path.
+        path: String,
+        /// Bytes to read.
+        len: u32,
+    },
+    /// Open for write, write `data`, close.
+    Create {
+        /// File path.
+        path: String,
+        /// Contents to write.
+        data: Bytes,
+    },
+    /// Open (read), then stat at the data server, then close.
+    Stat {
+        /// File path.
+        path: String,
+    },
+    /// Issue a prepare list to the manager (§III-B2).
+    Prepare {
+        /// Paths that will soon be needed.
+        paths: Vec<String>,
+    },
+    /// Do nothing for the given duration (think time between requests).
+    Sleep {
+        /// Idle duration.
+        duration: Nanos,
+    },
+    /// List a directory at the Cluster Name Space daemon (requires
+    /// `ClientConfig::cns`).
+    List {
+        /// Directory path.
+        dir: String,
+    },
+}
+
+impl ClientOp {
+    fn path(&self) -> &str {
+        match self {
+            ClientOp::Open { path, .. }
+            | ClientOp::OpenRead { path, .. }
+            | ClientOp::Create { path, .. }
+            | ClientOp::Stat { path } => path,
+            ClientOp::Prepare { .. } => "<prepare>",
+            ClientOp::Sleep { .. } => "<sleep>",
+            ClientOp::List { dir } => dir,
+        }
+    }
+
+    fn is_write(&self) -> bool {
+        matches!(self, ClientOp::Create { .. } | ClientOp::Open { write: true, .. })
+    }
+}
+
+/// Terminal status of one operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OpOutcome {
+    /// Completed successfully.
+    Ok,
+    /// The cluster determined the file does not exist.
+    NotFound,
+    /// Failed with an error.
+    Error(String),
+    /// Exceeded the retry/wait budget.
+    GaveUp,
+}
+
+/// Record of one completed operation.
+#[derive(Clone, Debug)]
+pub struct OpResult {
+    /// Index in the script.
+    pub op_index: usize,
+    /// The path operated on.
+    pub path: String,
+    /// Start time.
+    pub start: Nanos,
+    /// Completion time.
+    pub end: Nanos,
+    /// Terminal status.
+    pub outcome: OpOutcome,
+    /// Redirect hops followed.
+    pub redirects: u32,
+    /// `Wait` back-offs honoured.
+    pub waits: u32,
+    /// Refresh recoveries performed.
+    pub refreshes: u32,
+    /// Name of the data server that served the request, if any.
+    pub server: Option<String>,
+    /// Directory entries (List operations only).
+    pub entries: Vec<String>,
+    /// Bytes returned by the read (OpenRead operations only).
+    pub data: Option<Bytes>,
+}
+
+impl OpResult {
+    /// Wall-clock latency of the operation.
+    pub fn latency(&self) -> Nanos {
+        self.end.since(self.start)
+    }
+}
+
+/// Client configuration.
+#[derive(Clone)]
+pub struct ClientConfig {
+    /// Head nodes, tried in order on unresponsiveness ("one of many",
+    /// §II-B2).
+    pub managers: Vec<Addr>,
+    /// Name ↔ address directory shared with the harness.
+    pub directory: Arc<Directory>,
+    /// The script to run.
+    pub ops: Vec<ClientOp>,
+    /// Delay before the first operation.
+    pub start_delay: Nanos,
+    /// Pause between operations.
+    pub think_time: Nanos,
+    /// Maximum refresh recoveries per operation.
+    pub max_refreshes: u32,
+    /// Maximum `Wait` back-offs per operation.
+    pub max_waits: u32,
+    /// Per-request response timeout before manager failover.
+    pub request_timeout: Nanos,
+    /// Cluster Name Space daemon address for `List` operations.
+    pub cns: Option<Addr>,
+}
+
+impl ClientConfig {
+    /// Sensible defaults against a single manager.
+    pub fn new(manager: Addr, directory: Arc<Directory>, ops: Vec<ClientOp>) -> ClientConfig {
+        ClientConfig {
+            managers: vec![manager],
+            directory,
+            ops,
+            start_delay: Nanos::ZERO,
+            think_time: Nanos::ZERO,
+            max_refreshes: 3,
+            max_waits: 10,
+            request_timeout: Nanos::from_secs(20),
+            cns: None,
+        }
+    }
+}
+
+mod tok {
+    pub const NEXT_OP: u64 = 1;
+    pub const RETRY: u64 = 2;
+    pub const TIMEOUT_BASE: u64 = 1 << 33;
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum Phase {
+    Idle,
+    Opening,
+    Reading { handle: u64 },
+    Writing { handle: u64 },
+    Statting { handle: u64 },
+    Closing,
+    Preparing,
+    Listing,
+}
+
+/// The scripted client node.
+pub struct ClientNode {
+    cfg: ClientConfig,
+    results: Vec<OpResult>,
+    op_index: usize,
+    phase: Phase,
+    // Current operation progress.
+    start: Nanos,
+    redirects: u32,
+    waits: u32,
+    refreshes: u32,
+    target: Addr,
+    manager_idx: usize,
+    refresh_walk: bool,
+    avoid: Option<String>,
+    last_request: Option<Msg>,
+    // Request-timeout bookkeeping: only the newest timeout token counts.
+    timeout_gen: u64,
+    // Timeouts suffered by the current operation (resets per op).
+    timeouts_this_op: u32,
+    pending_entries: Vec<String>,
+    pending_data: Option<Bytes>,
+    done: bool,
+}
+
+impl ClientNode {
+    /// Creates a client. Results accumulate in [`ClientNode::results`].
+    pub fn new(cfg: ClientConfig) -> ClientNode {
+        let target = cfg.managers[0];
+        ClientNode {
+            cfg,
+            results: Vec::new(),
+            op_index: 0,
+            phase: Phase::Idle,
+            start: Nanos::ZERO,
+            redirects: 0,
+            waits: 0,
+            refreshes: 0,
+            target,
+            manager_idx: 0,
+            refresh_walk: false,
+            avoid: None,
+            last_request: None,
+            timeout_gen: 0,
+            timeouts_this_op: 0,
+            pending_entries: Vec::new(),
+            pending_data: None,
+            done: false,
+        }
+    }
+
+    /// Completed operation records.
+    pub fn results(&self) -> &[OpResult] {
+        &self.results
+    }
+
+    /// Whether the whole script has completed.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    fn manager(&self) -> Addr {
+        self.cfg.managers[self.manager_idx % self.cfg.managers.len()]
+    }
+
+    fn current_op(&self) -> &ClientOp {
+        &self.cfg.ops[self.op_index]
+    }
+
+    fn send_tracked(&mut self, ctx: &mut dyn NetCtx, to: Addr, msg: Msg) {
+        self.last_request = Some(msg.clone());
+        self.target = to;
+        self.timeout_gen += 1;
+        ctx.set_timer(self.cfg.request_timeout, tok::TIMEOUT_BASE + self.timeout_gen);
+        ctx.send(to, msg);
+    }
+
+    fn begin_op(&mut self, ctx: &mut dyn NetCtx) {
+        if self.op_index >= self.cfg.ops.len() {
+            self.done = true;
+            return;
+        }
+        self.start = ctx.now();
+        self.redirects = 0;
+        self.waits = 0;
+        self.refreshes = 0;
+        self.timeouts_this_op = 0;
+        self.refresh_walk = false;
+        self.avoid = None;
+        let op = self.current_op().clone();
+        match op {
+            ClientOp::Sleep { duration } => {
+                self.phase = Phase::Idle;
+                // Record the sleep trivially and move on after it.
+                self.results.push(OpResult {
+                    op_index: self.op_index,
+                    path: "<sleep>".into(),
+                    start: self.start,
+                    end: self.start + duration,
+                    outcome: OpOutcome::Ok,
+                    redirects: 0,
+                    waits: 0,
+                    refreshes: 0,
+                    server: None,
+                    entries: Vec::new(),
+                    data: None,
+                });
+                self.op_index += 1;
+                ctx.set_timer(duration, tok::NEXT_OP);
+            }
+            ClientOp::Prepare { paths } => {
+                self.phase = Phase::Preparing;
+                let mgr = self.manager();
+                self.send_tracked(ctx, mgr, ClientMsg::Prepare { paths }.into());
+            }
+            ClientOp::List { dir } => match self.cfg.cns {
+                Some(cns) => {
+                    self.phase = Phase::Listing;
+                    self.send_tracked(ctx, cns, ClientMsg::List { dir }.into());
+                }
+                None => {
+                    self.finish_op(ctx, OpOutcome::Error("no cns configured".into()), None);
+                }
+            },
+            op => {
+                self.phase = Phase::Opening;
+                let msg = ClientMsg::Open {
+                    path: op.path().to_string(),
+                    write: op.is_write(),
+                    refresh: false,
+                    avoid: None,
+                };
+                let mgr = self.manager();
+                self.send_tracked(ctx, mgr, msg.into());
+            }
+        }
+    }
+
+    fn finish_op(&mut self, ctx: &mut dyn NetCtx, outcome: OpOutcome, server: Option<String>) {
+        // Cancel the outstanding timeout by bumping the generation.
+        self.timeout_gen += 1;
+        self.results.push(OpResult {
+            op_index: self.op_index,
+            path: self.current_op().path().to_string(),
+            start: self.start,
+            end: ctx.now(),
+            outcome,
+            redirects: self.redirects,
+            waits: self.waits,
+            refreshes: self.refreshes,
+            server,
+            entries: std::mem::take(&mut self.pending_entries),
+            data: self.pending_data.take(),
+        });
+        self.op_index += 1;
+        self.phase = Phase::Idle;
+        if self.op_index >= self.cfg.ops.len() {
+            self.done = true;
+        } else if self.cfg.think_time.0 > 0 {
+            ctx.set_timer(self.cfg.think_time, tok::NEXT_OP);
+        } else {
+            self.begin_op(ctx);
+        }
+    }
+
+    /// Re-issue the current open walk from the manager with refresh+avoid
+    /// (§III-C1 recovery).
+    fn recover(&mut self, ctx: &mut dyn NetCtx, failing: Addr) {
+        self.refreshes += 1;
+        if self.refreshes > self.cfg.max_refreshes {
+            self.finish_op(ctx, OpOutcome::GaveUp, None);
+            return;
+        }
+        self.refresh_walk = true;
+        self.avoid = self.cfg.directory.name_of(failing);
+        self.phase = Phase::Opening;
+        let msg = ClientMsg::Open {
+            path: self.current_op().path().to_string(),
+            write: self.current_op().is_write(),
+            refresh: true,
+            avoid: self.avoid.clone(),
+        };
+        let mgr = self.manager();
+        self.send_tracked(ctx, mgr, msg.into());
+    }
+
+    fn on_open_ok(&mut self, ctx: &mut dyn NetCtx, handle: u64) {
+        let op = self.current_op().clone();
+        let server = self.target;
+        match op {
+            ClientOp::Open { .. } => {
+                self.phase = Phase::Closing;
+                self.send_tracked(ctx, server, ClientMsg::Close { handle }.into());
+            }
+            ClientOp::OpenRead { len, .. } => {
+                self.phase = Phase::Reading { handle };
+                self.send_tracked(ctx, server, ClientMsg::Read { handle, offset: 0, len }.into());
+            }
+            ClientOp::Create { data, .. } => {
+                self.phase = Phase::Writing { handle };
+                self.send_tracked(
+                    ctx,
+                    server,
+                    ClientMsg::Write { handle, offset: 0, data }.into(),
+                );
+            }
+            ClientOp::Stat { path } => {
+                self.phase = Phase::Statting { handle };
+                self.send_tracked(ctx, server, ClientMsg::Stat { path }.into());
+            }
+            ClientOp::Prepare { .. } | ClientOp::Sleep { .. } | ClientOp::List { .. } => {
+                unreachable!("no open phase")
+            }
+        }
+    }
+}
+
+impl Node for ClientNode {
+    fn on_start(&mut self, ctx: &mut dyn NetCtx) {
+        if self.cfg.start_delay.0 > 0 {
+            ctx.set_timer(self.cfg.start_delay, tok::NEXT_OP);
+        } else {
+            self.begin_op(ctx);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut dyn NetCtx, from: Addr, msg: Msg) {
+        if self.done || from != self.target {
+            return; // stale response from an abandoned target
+        }
+        let Msg::Server(reply) = msg else { return };
+        match reply {
+            ServerMsg::Redirect { host } => {
+                self.redirects += 1;
+                match self.cfg.directory.addr_of(&host) {
+                    Some(addr) => {
+                        let msg = ClientMsg::Open {
+                            path: self.current_op().path().to_string(),
+                            write: self.current_op().is_write(),
+                            refresh: self.refresh_walk,
+                            avoid: self.avoid.clone(),
+                        };
+                        self.send_tracked(ctx, addr, msg.into());
+                    }
+                    None => {
+                        self.finish_op(ctx, OpOutcome::Error(format!("unknown host {host}")), None)
+                    }
+                }
+            }
+            ServerMsg::Wait { millis } => {
+                self.waits += 1;
+                if self.waits > self.cfg.max_waits {
+                    self.finish_op(ctx, OpOutcome::GaveUp, None);
+                } else {
+                    ctx.set_timer(Nanos::from_millis(millis.max(1)), tok::RETRY);
+                }
+            }
+            ServerMsg::OpenOk { handle } => self.on_open_ok(ctx, handle),
+            ServerMsg::Data { ref data } if matches!(self.phase, Phase::Reading { .. }) => {
+                self.pending_data = Some(data.clone());
+                let Phase::Reading { handle } = self.phase else { unreachable!() };
+                self.phase = Phase::Closing;
+                let server = self.target;
+                self.send_tracked(ctx, server, ClientMsg::Close { handle }.into());
+            }
+            ServerMsg::Data { .. } | ServerMsg::WriteOk { .. } | ServerMsg::StatOk { .. } => {
+                let handle = match self.phase {
+                    Phase::Reading { handle }
+                    | Phase::Writing { handle }
+                    | Phase::Statting { handle } => handle,
+                    _ => return,
+                };
+                self.phase = Phase::Closing;
+                let server = self.target;
+                self.send_tracked(ctx, server, ClientMsg::Close { handle }.into());
+            }
+            ServerMsg::CloseOk => {
+                let server = self.cfg.directory.name_of(self.target);
+                self.finish_op(ctx, OpOutcome::Ok, server);
+            }
+            ServerMsg::PrepareOk => {
+                if self.phase == Phase::Preparing {
+                    self.finish_op(ctx, OpOutcome::Ok, None);
+                }
+            }
+            ServerMsg::ListOk { entries } => {
+                if self.phase == Phase::Listing {
+                    self.pending_entries = entries;
+                    self.finish_op(ctx, OpOutcome::Ok, None);
+                }
+            }
+            ServerMsg::Error { code, detail } => {
+                let at_manager = self.cfg.managers.contains(&self.target);
+                match code {
+                    ErrCode::NotFound if at_manager => {
+                        self.finish_op(ctx, OpOutcome::NotFound, None)
+                    }
+                    // Stale redirect or I/O failure at a data server:
+                    // refresh recovery through the manager (§III-C1).
+                    ErrCode::NotFound | ErrCode::IoError => {
+                        let failing = self.target;
+                        self.recover(ctx, failing);
+                    }
+                    ErrCode::Retry => {
+                        self.waits += 1;
+                        if self.waits > self.cfg.max_waits {
+                            self.finish_op(ctx, OpOutcome::GaveUp, None);
+                        } else {
+                            ctx.set_timer(Nanos::from_millis(100), tok::RETRY);
+                        }
+                    }
+                    _ => self.finish_op(ctx, OpOutcome::Error(detail), None),
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn NetCtx, token: u64) {
+        if self.done {
+            return;
+        }
+        match token {
+            tok::NEXT_OP => self.begin_op(ctx),
+            tok::RETRY => {
+                if let Some(msg) = self.last_request.clone() {
+                    let target = self.target;
+                    self.send_tracked(ctx, target, msg);
+                }
+            }
+            t if t >= tok::TIMEOUT_BASE => {
+                if t - tok::TIMEOUT_BASE != self.timeout_gen {
+                    return; // superseded timeout
+                }
+                // The target stopped answering. Fail over to the next
+                // manager and restart the walk from the top. The budget is
+                // per operation: two passes over the manager list.
+                self.timeouts_this_op += 1;
+                if self.timeouts_this_op as usize > self.cfg.managers.len() * 2 {
+                    self.finish_op(ctx, OpOutcome::GaveUp, None);
+                    return;
+                }
+                if self.target == self.manager() {
+                    // The manager itself is unresponsive: advance to the
+                    // next replica. A dead data server just restarts the
+                    // walk at the current (healthy) manager.
+                    self.manager_idx += 1;
+                }
+                self.phase = Phase::Opening;
+                let msg = ClientMsg::Open {
+                    path: self.current_op().path().to_string(),
+                    write: self.current_op().is_write(),
+                    refresh: self.refresh_walk,
+                    avoid: self.avoid.clone(),
+                };
+                let mgr = self.manager();
+                self.send_tracked(ctx, mgr, msg.into());
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalla_simnet::{LatencyModel, SimNet};
+
+    /// A stub head node: redirects every open for "/data/*" to "leaf",
+    /// reports NotFound for anything else.
+    struct StubManager;
+    impl Node for StubManager {
+        fn on_message(&mut self, ctx: &mut dyn NetCtx, from: Addr, msg: Msg) {
+            if let Msg::Client(ClientMsg::Open { path, .. }) = msg {
+                if path.starts_with("/data/") {
+                    ctx.send(from, ServerMsg::Redirect { host: "leaf".into() }.into());
+                } else {
+                    ctx.send(
+                        from,
+                        ServerMsg::Error { code: ErrCode::NotFound, detail: path }.into(),
+                    );
+                }
+            } else if let Msg::Client(ClientMsg::Prepare { .. }) = msg {
+                ctx.send(from, ServerMsg::PrepareOk.into());
+            }
+        }
+    }
+
+    /// A stub data server: opens anything, serves 3 bytes, closes.
+    struct StubLeaf {
+        fail_first_open: bool,
+    }
+    impl Node for StubLeaf {
+        fn on_message(&mut self, ctx: &mut dyn NetCtx, from: Addr, msg: Msg) {
+            match msg {
+                Msg::Client(ClientMsg::Open { .. }) => {
+                    if self.fail_first_open {
+                        self.fail_first_open = false;
+                        ctx.send(
+                            from,
+                            ServerMsg::Error { code: ErrCode::IoError, detail: "disk".into() }
+                                .into(),
+                        );
+                    } else {
+                        ctx.send(from, ServerMsg::OpenOk { handle: 1 }.into());
+                    }
+                }
+                Msg::Client(ClientMsg::Read { len, .. }) => {
+                    ctx.send(
+                        from,
+                        ServerMsg::Data { data: Bytes::from(vec![0u8; len.min(3) as usize]) }
+                            .into(),
+                    );
+                }
+                Msg::Client(ClientMsg::Close { .. }) => {
+                    ctx.send(from, ServerMsg::CloseOk.into());
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn run_script(ops: Vec<ClientOp>, fail_first_open: bool) -> Vec<OpResult> {
+        let mut net = SimNet::new(LatencyModel::fixed(Nanos::from_micros(20)), 1);
+        let dir = Arc::new(Directory::new());
+        let mgr = net.add_node(Box::new(StubManager));
+        let leaf = net.add_node(Box::new(StubLeaf { fail_first_open }));
+        dir.register("mgr", mgr);
+        dir.register("leaf", leaf);
+        let client = net.add_node(Box::new(ClientNode::new(ClientConfig::new(
+            mgr,
+            dir.clone(),
+            ops,
+        ))));
+        net.start();
+        net.run_until(Nanos::from_secs(60));
+        let node = net.node_mut(client).as_any_mut().unwrap();
+        node.downcast_ref::<ClientNode>().unwrap().results().to_vec()
+    }
+
+    #[test]
+    fn open_walk_records_latency_and_hops() {
+        let results = run_script(
+            vec![ClientOp::Open { path: "/data/f".into(), write: false }],
+            false,
+        );
+        assert_eq!(results.len(), 1);
+        let r = &results[0];
+        assert_eq!(r.outcome, OpOutcome::Ok);
+        assert_eq!(r.redirects, 1);
+        assert_eq!(r.server.as_deref(), Some("leaf"));
+        // 4 messages on the walk (open->redirect, open->ok) + close pair
+        // = 6 hops x 20 µs.
+        assert_eq!(r.latency(), Nanos::from_micros(120));
+    }
+
+    #[test]
+    fn openread_roundtrip() {
+        let results = run_script(
+            vec![ClientOp::OpenRead { path: "/data/f".into(), len: 3 }],
+            false,
+        );
+        assert_eq!(results[0].outcome, OpOutcome::Ok);
+    }
+
+    #[test]
+    fn notfound_at_manager_is_terminal() {
+        let results = run_script(
+            vec![ClientOp::Open { path: "/ghost".into(), write: false }],
+            false,
+        );
+        assert_eq!(results[0].outcome, OpOutcome::NotFound);
+        assert_eq!(results[0].refreshes, 0);
+    }
+
+    #[test]
+    fn io_error_at_server_triggers_refresh_recovery() {
+        let results = run_script(
+            vec![ClientOp::Open { path: "/data/f".into(), write: false }],
+            true,
+        );
+        let r = &results[0];
+        assert_eq!(r.outcome, OpOutcome::Ok);
+        assert_eq!(r.refreshes, 1, "one recovery walk");
+        assert_eq!(r.redirects, 2, "redirected twice (initial + recovery)");
+    }
+
+    #[test]
+    fn script_runs_sequentially_with_prepare_and_sleep() {
+        let results = run_script(
+            vec![
+                ClientOp::Prepare { paths: vec!["/data/a".into()] },
+                ClientOp::Sleep { duration: Nanos::from_millis(5) },
+                ClientOp::Open { path: "/data/a".into(), write: false },
+            ],
+            false,
+        );
+        assert_eq!(results.len(), 3);
+        assert!(results.iter().all(|r| r.outcome == OpOutcome::Ok));
+        // Ordering: each op starts no earlier than the previous ended.
+        assert!(results[2].start >= results[1].end);
+    }
+
+    #[test]
+    fn manager_failover_on_silence() {
+        // Primary manager is a black hole; secondary answers.
+        struct BlackHole;
+        impl Node for BlackHole {
+            fn on_message(&mut self, _: &mut dyn NetCtx, _: Addr, _: Msg) {}
+        }
+        let mut net = SimNet::new(LatencyModel::fixed(Nanos::from_micros(20)), 1);
+        let dir = Arc::new(Directory::new());
+        let dead = net.add_node(Box::new(BlackHole));
+        let live = net.add_node(Box::new(StubManager));
+        let leaf = net.add_node(Box::new(StubLeaf { fail_first_open: false }));
+        dir.register("leaf", leaf);
+        let mut cfg = ClientConfig::new(dead, dir.clone(), vec![ClientOp::Open {
+            path: "/data/f".into(),
+            write: false,
+        }]);
+        cfg.managers = vec![dead, live];
+        cfg.request_timeout = Nanos::from_secs(1);
+        let client = net.add_node(Box::new(ClientNode::new(cfg)));
+        net.start();
+        net.run_until(Nanos::from_secs(30));
+        let node = net.node_mut(client).as_any_mut().unwrap();
+        let results = node.downcast_ref::<ClientNode>().unwrap().results();
+        assert_eq!(results[0].outcome, OpOutcome::Ok, "failover must succeed");
+        assert!(results[0].latency() >= Nanos::from_secs(1), "paid the timeout");
+    }
+}

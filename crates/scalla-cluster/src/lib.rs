@@ -1,0 +1,26 @@
+//! Cluster management for the Scalla reproduction (§II-B, §III-A4).
+//!
+//! A cmsd tracks up to 64 direct subordinates. This crate provides the
+//! state around the location cache:
+//!
+//! * [`paths`] — the export-prefix table mapping a requested file path to
+//!   the eligibility vector `V_m` ("Each exported path is associated with a
+//!   `V_m` that defines the servers eligible for that path", §III-A4).
+//! * [`member`] — the server lifecycle: login, disconnect, reconnect-
+//!   within-drop-window, and drop (§III-A4 cases 1–4). Registration is
+//!   deliberately light: a server declares only its path prefixes, never a
+//!   file manifest (§V).
+//! * [`select`] — server selection "based on configuration defined criteria
+//!   (e.g., load, selection frequency, space, etc.)" (§II-B3).
+//! * [`topology`] — the 64-ary tree layout: sets of 64 nodes, supervisors
+//!   above them, a manager at the root; `O(log64 N)` levels (§II-B1).
+
+pub mod member;
+pub mod paths;
+pub mod select;
+pub mod topology;
+
+pub use member::{LoginOutcome, Membership, MembershipConfig, ServerMeta};
+pub use paths::ExportTable;
+pub use select::{SelectionPolicy, Selector};
+pub use topology::{NodeId, NodeRole, TreeSpec};

@@ -1,0 +1,357 @@
+//! Server membership lifecycle (§III-A4).
+//!
+//! The paper enumerates four occurrences after location information is
+//! cached:
+//!
+//! 1. a server **disconnects** — it is "simply marked as being offline",
+//!    still part of the cluster, in the hope it reconnects;
+//! 2. a server is **dropped** — it stayed offline past the drop time limit
+//!    (or reconnected with different exports); its cached information is
+//!    invalid and it is removed from every `V_m`;
+//! 3. an un-dropped server **reconnects** — existing cached information
+//!    remains valid, information cached since the disconnect is incomplete
+//!    (the connect log handles the correction);
+//! 4. a **new server connects** — older cached objects are incomplete until
+//!    corrected.
+//!
+//! Every (re)connect must be recorded in the cache's `ConnectLog`; the
+//! [`LoginOutcome`] tells the caller exactly which side effects to apply so
+//! this crate stays independent of the cache crate.
+
+use crate::paths::ExportTable;
+use scalla_util::{Nanos, ServerId, ServerSet, MAX_SERVERS};
+
+/// Membership tuning.
+#[derive(Clone, Debug)]
+pub struct MembershipConfig {
+    /// How long a disconnected server is kept (offline) before being
+    /// dropped from the cluster.
+    pub drop_after: Nanos,
+}
+
+impl Default for MembershipConfig {
+    fn default() -> MembershipConfig {
+        // XRootD's production default drop delay is 10 minutes.
+        MembershipConfig { drop_after: Nanos::from_mins(10) }
+    }
+}
+
+/// Per-server dynamic metadata used by selection policies.
+#[derive(Clone, Debug, Default)]
+pub struct ServerMeta {
+    /// Stable server name (host identity across reconnects).
+    pub name: String,
+    /// Load figure reported by the server (lower is better).
+    pub load: u32,
+    /// Free space in bytes (higher is better).
+    pub free_bytes: u64,
+    /// How many times selection has picked this server.
+    pub selections: u64,
+}
+
+#[derive(Clone, Debug)]
+enum SlotState {
+    Empty,
+    Active,
+    Offline { since: Nanos },
+}
+
+#[derive(Clone, Debug)]
+struct Slot {
+    state: SlotState,
+    meta: ServerMeta,
+    exports: Vec<String>,
+}
+
+impl Slot {
+    fn empty() -> Slot {
+        Slot { state: SlotState::Empty, meta: ServerMeta::default(), exports: Vec::new() }
+    }
+}
+
+/// What a login did, so the caller can apply the right cache side effects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoginOutcome {
+    /// A brand-new cluster member (§III-A4 case 4).
+    New(ServerId),
+    /// An un-dropped server reconnected with unchanged exports (case 3).
+    Reconnected(ServerId),
+    /// The server reconnected with *different* exports and was therefore
+    /// treated as a new connection (its old cached info was invalidated by
+    /// re-registering the exports).
+    ReconnectedNewPaths(ServerId),
+    /// No free slot: the 64-subordinate set is full and the caller should
+    /// redirect the server to another supervisor.
+    ClusterFull,
+}
+
+impl LoginOutcome {
+    /// The assigned slot, if any.
+    pub fn id(&self) -> Option<ServerId> {
+        match *self {
+            LoginOutcome::New(id)
+            | LoginOutcome::Reconnected(id)
+            | LoginOutcome::ReconnectedNewPaths(id) => Some(id),
+            LoginOutcome::ClusterFull => None,
+        }
+    }
+}
+
+/// The 64-slot membership table of one cmsd.
+pub struct Membership {
+    slots: Vec<Slot>,
+    config: MembershipConfig,
+    exports: ExportTable,
+}
+
+impl Membership {
+    /// Creates an empty membership table.
+    pub fn new(config: MembershipConfig) -> Membership {
+        Membership {
+            slots: (0..MAX_SERVERS).map(|_| Slot::empty()).collect(),
+            config,
+            exports: ExportTable::new(),
+        }
+    }
+
+    /// The export table (for `V_m` lookups).
+    pub fn exports(&self) -> &ExportTable {
+        &self.exports
+    }
+
+    /// `V_m` for a path — convenience passthrough.
+    pub fn vm_for(&self, path: &str) -> ServerSet {
+        self.exports.vm_for(path)
+    }
+
+    /// Servers currently active (connected).
+    pub fn active(&self) -> ServerSet {
+        self.collect(|s| matches!(s.state, SlotState::Active))
+    }
+
+    /// Servers disconnected but not yet dropped.
+    pub fn offline(&self) -> ServerSet {
+        self.collect(|s| matches!(s.state, SlotState::Offline { .. }))
+    }
+
+    fn collect(&self, f: impl Fn(&Slot) -> bool) -> ServerSet {
+        let mut set = ServerSet::EMPTY;
+        for (i, s) in self.slots.iter().enumerate() {
+            if f(s) {
+                set.insert(i as ServerId);
+            }
+        }
+        set
+    }
+
+    fn find_by_name(&self, name: &str) -> Option<ServerId> {
+        self.slots.iter().position(|s| {
+            !matches!(s.state, SlotState::Empty) && s.meta.name == name
+        }).map(|i| i as ServerId)
+    }
+
+    fn free_slot(&self) -> Option<ServerId> {
+        self.slots
+            .iter()
+            .position(|s| matches!(s.state, SlotState::Empty))
+            .map(|i| i as ServerId)
+    }
+
+    /// Handles a server login. The caller must afterwards call
+    /// `ConnectLog::note_connect(id)` (via the cache) for any outcome that
+    /// yields an id — "Login is also the time that the server is added to
+    /// `V_c`" (§III-A4).
+    pub fn login(&mut self, name: &str, exports: &[String], _now: Nanos) -> LoginOutcome {
+        if let Some(id) = self.find_by_name(name) {
+            let same_exports = {
+                let slot = &self.slots[id as usize];
+                let mut a = slot.exports.clone();
+                let mut b = exports.to_vec();
+                a.sort();
+                b.sort();
+                a == b
+            };
+            if same_exports {
+                self.slots[id as usize].state = SlotState::Active;
+                return LoginOutcome::Reconnected(id);
+            }
+            // "If the server reconnects within the drop time limit but has
+            // a new set of exported paths the reconnection is also treated
+            // as a new connection."
+            self.exports.remove_server(id);
+            let slot = &mut self.slots[id as usize];
+            slot.state = SlotState::Active;
+            slot.exports = exports.to_vec();
+            self.exports.login(id, exports);
+            return LoginOutcome::ReconnectedNewPaths(id);
+        }
+        let Some(id) = self.free_slot() else {
+            return LoginOutcome::ClusterFull;
+        };
+        let slot = &mut self.slots[id as usize];
+        slot.state = SlotState::Active;
+        slot.meta = ServerMeta { name: name.to_string(), ..ServerMeta::default() };
+        slot.exports = exports.to_vec();
+        self.exports.login(id, exports);
+        LoginOutcome::New(id)
+    }
+
+    /// Marks a server offline (case 1). It remains a cluster member.
+    pub fn disconnect(&mut self, id: ServerId, now: Nanos) {
+        let slot = &mut self.slots[id as usize];
+        if matches!(slot.state, SlotState::Active) {
+            slot.state = SlotState::Offline { since: now };
+        }
+    }
+
+    /// Drops every server that has been offline longer than the configured
+    /// limit (case 2). Returns the dropped set; their bits are removed from
+    /// every `V_m` here, and the caller should purge selection state.
+    pub fn check_drops(&mut self, now: Nanos) -> ServerSet {
+        let mut dropped = ServerSet::EMPTY;
+        for i in 0..self.slots.len() {
+            if let SlotState::Offline { since } = self.slots[i].state {
+                if now.since(since) > self.config.drop_after {
+                    dropped.insert(i as ServerId);
+                    self.exports.remove_server(i as ServerId);
+                    self.slots[i] = Slot::empty();
+                }
+            }
+        }
+        dropped
+    }
+
+    /// Updates a server's selection metrics (load report / heartbeat).
+    pub fn report_load(&mut self, id: ServerId, load: u32, free_bytes: u64) {
+        let slot = &mut self.slots[id as usize];
+        slot.meta.load = load;
+        slot.meta.free_bytes = free_bytes;
+    }
+
+    /// Counts a selection against `id` (selection-frequency policy input).
+    pub fn note_selected(&mut self, id: ServerId) {
+        self.slots[id as usize].meta.selections += 1;
+    }
+
+    /// Read access to a server's metadata; `None` for empty slots.
+    pub fn meta(&self, id: ServerId) -> Option<&ServerMeta> {
+        let slot = &self.slots[id as usize];
+        if matches!(slot.state, SlotState::Empty) {
+            None
+        } else {
+            Some(&slot.meta)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> MembershipConfig {
+        MembershipConfig { drop_after: Nanos::from_secs(60) }
+    }
+
+    fn exports(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn login_assigns_slots_and_exports() {
+        let mut m = Membership::new(cfg());
+        let a = m.login("srv-a", &exports(&["/data"]), Nanos::ZERO);
+        let b = m.login("srv-b", &exports(&["/data", "/mc"]), Nanos::ZERO);
+        assert_eq!(a, LoginOutcome::New(0));
+        assert_eq!(b, LoginOutcome::New(1));
+        assert_eq!(m.vm_for("/data/f"), ServerSet(0b11));
+        assert_eq!(m.vm_for("/mc/f"), ServerSet(0b10));
+        assert_eq!(m.active(), ServerSet(0b11));
+    }
+
+    #[test]
+    fn disconnect_keeps_membership_until_drop() {
+        let mut m = Membership::new(cfg());
+        m.login("srv-a", &exports(&["/data"]), Nanos::ZERO);
+        m.disconnect(0, Nanos::from_secs(10));
+        assert_eq!(m.offline(), ServerSet::single(0));
+        // Still a member: V_m keeps the bit.
+        assert_eq!(m.vm_for("/data/f"), ServerSet::single(0));
+        // Within the limit: not dropped.
+        assert_eq!(m.check_drops(Nanos::from_secs(50)), ServerSet::EMPTY);
+        // Past the limit: dropped, V_m cleared.
+        assert_eq!(m.check_drops(Nanos::from_secs(80)), ServerSet::single(0));
+        assert_eq!(m.vm_for("/data/f"), ServerSet::EMPTY);
+        assert!(m.meta(0).is_none());
+    }
+
+    #[test]
+    fn reconnect_same_exports_is_case_3() {
+        let mut m = Membership::new(cfg());
+        m.login("srv-a", &exports(&["/data"]), Nanos::ZERO);
+        m.disconnect(0, Nanos::from_secs(1));
+        let out = m.login("srv-a", &exports(&["/data"]), Nanos::from_secs(5));
+        assert_eq!(out, LoginOutcome::Reconnected(0));
+        assert_eq!(m.active(), ServerSet::single(0));
+        assert_eq!(m.offline(), ServerSet::EMPTY);
+    }
+
+    #[test]
+    fn reconnect_with_new_exports_is_new_connection() {
+        let mut m = Membership::new(cfg());
+        m.login("srv-a", &exports(&["/data"]), Nanos::ZERO);
+        m.disconnect(0, Nanos::from_secs(1));
+        let out = m.login("srv-a", &exports(&["/other"]), Nanos::from_secs(5));
+        assert_eq!(out, LoginOutcome::ReconnectedNewPaths(0));
+        assert_eq!(m.vm_for("/data/f"), ServerSet::EMPTY);
+        assert_eq!(m.vm_for("/other/f"), ServerSet::single(0));
+    }
+
+    #[test]
+    fn dropped_server_rejoins_as_new() {
+        let mut m = Membership::new(cfg());
+        m.login("srv-a", &exports(&["/data"]), Nanos::ZERO);
+        m.disconnect(0, Nanos::ZERO);
+        m.check_drops(Nanos::from_secs(120));
+        let out = m.login("srv-a", &exports(&["/data"]), Nanos::from_secs(130));
+        assert_eq!(out, LoginOutcome::New(0), "dropped => treated as new");
+    }
+
+    #[test]
+    fn cluster_full_after_64_servers() {
+        let mut m = Membership::new(cfg());
+        for i in 0..64 {
+            assert!(matches!(
+                m.login(&format!("srv-{i}"), &exports(&["/d"]), Nanos::ZERO),
+                LoginOutcome::New(_)
+            ));
+        }
+        assert_eq!(
+            m.login("srv-overflow", &exports(&["/d"]), Nanos::ZERO),
+            LoginOutcome::ClusterFull
+        );
+        assert_eq!(m.active().len(), 64);
+    }
+
+    #[test]
+    fn slot_reuse_after_drop() {
+        let mut m = Membership::new(cfg());
+        m.login("srv-a", &exports(&["/a"]), Nanos::ZERO);
+        m.login("srv-b", &exports(&["/b"]), Nanos::ZERO);
+        m.disconnect(0, Nanos::ZERO);
+        m.check_drops(Nanos::from_secs(120));
+        let out = m.login("srv-c", &exports(&["/c"]), Nanos::from_secs(121));
+        assert_eq!(out, LoginOutcome::New(0), "freed slot is reused");
+    }
+
+    #[test]
+    fn load_reports_update_meta() {
+        let mut m = Membership::new(cfg());
+        m.login("srv-a", &exports(&["/a"]), Nanos::ZERO);
+        m.report_load(0, 42, 1 << 30);
+        m.note_selected(0);
+        let meta = m.meta(0).unwrap();
+        assert_eq!(meta.load, 42);
+        assert_eq!(meta.free_bytes, 1 << 30);
+        assert_eq!(meta.selections, 1);
+    }
+}

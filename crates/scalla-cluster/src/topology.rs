@@ -1,0 +1,254 @@
+//! 64-ary tree topology (§II-B1).
+//!
+//! "Nodes are clustered in sets of 64 and the sets are arranged in a 64-ary
+//! tree. As long as linear algorithms are employed, it takes only O(1) time
+//! per set or tree node to locate a file. It follows that the upper time
+//! limit in any sized cluster is O(log64(number of servers))."
+//!
+//! [`TreeSpec`] computes the layout — which data servers sit under which
+//! supervisor, and supervisors under the manager (or higher supervisors) —
+//! for any server count. The runtimes (simnet and live threads) instantiate
+//! nodes from this spec.
+
+/// Global node identifier within one cluster layout.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NodeId(pub u32);
+
+/// Role of a node in the tree.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NodeRole {
+    /// The logical head node clients contact first ("which can be one of
+    /// many" — replication handled at the runtime layer).
+    Manager,
+    /// An interior cmsd aggregating up to 64 subordinates.
+    Supervisor,
+    /// A leaf data server (xrootd + cmsd pair).
+    Server,
+}
+
+/// One node in the layout.
+#[derive(Clone, Debug)]
+pub struct NodeSpec {
+    /// This node's id.
+    pub id: NodeId,
+    /// Role in the tree.
+    pub role: NodeRole,
+    /// Parent node (`None` for the manager).
+    pub parent: Option<NodeId>,
+    /// Slot number (0–63) this node occupies in its parent's set.
+    pub slot: u8,
+    /// Children, at most `fanout`.
+    pub children: Vec<NodeId>,
+}
+
+/// A complete cluster layout.
+pub struct TreeSpec {
+    /// All nodes; index == `NodeId.0`.
+    pub nodes: Vec<NodeSpec>,
+    /// Ids of the leaf data servers, in creation order.
+    pub servers: Vec<NodeId>,
+    /// The manager node id (always `NodeId(0)`).
+    pub manager: NodeId,
+    fanout: usize,
+}
+
+impl TreeSpec {
+    /// Builds the minimal-depth layout for `n_servers` leaves with the
+    /// given fanout (64 in Scalla; smaller values are useful in tests).
+    ///
+    /// The manager is the root. If `n_servers <= fanout` the servers attach
+    /// directly to the manager; otherwise layers of supervisors are
+    /// inserted so no node exceeds `fanout` children.
+    ///
+    /// ```
+    /// use scalla_cluster::TreeSpec;
+    /// // 200 servers at the paper's fanout: one supervisor level.
+    /// let spec = TreeSpec::build(200, 64);
+    /// assert_eq!(spec.depth(), 2);
+    /// assert_eq!(spec.servers.len(), 200);
+    /// // 64^2 = 4096 servers still fit in two levels.
+    /// assert_eq!(TreeSpec::build(4096, 64).depth(), 2);
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if `n_servers == 0` or `fanout < 2`.
+    pub fn build(n_servers: usize, fanout: usize) -> TreeSpec {
+        assert!(n_servers > 0, "cluster needs at least one server");
+        assert!(fanout >= 2, "fanout must be at least 2");
+
+        let mut spec = TreeSpec {
+            nodes: vec![NodeSpec {
+                id: NodeId(0),
+                role: NodeRole::Manager,
+                parent: None,
+                slot: 0,
+                children: Vec::new(),
+            }],
+            servers: Vec::new(),
+            manager: NodeId(0),
+            fanout,
+        };
+
+        // Number of supervisor levels below the manager so that
+        // fanout^(levels+1) >= n_servers.
+        let mut levels = 0usize;
+        let mut capacity = fanout;
+        while capacity < n_servers {
+            levels += 1;
+            capacity *= fanout;
+        }
+
+        // Breadth-first construction of interior levels.
+        let mut frontier = vec![NodeId(0)];
+        for level in 0..levels {
+            // Leaves each frontier node must eventually cover.
+            let per_parent_capacity = fanout.pow((levels - level) as u32);
+            let mut next = Vec::new();
+            let mut remaining = n_servers;
+            'outer: for &parent in &frontier {
+                for _ in 0..fanout {
+                    if remaining == 0 {
+                        break 'outer;
+                    }
+                    let sup = spec.add_node(NodeRole::Supervisor, parent);
+                    next.push(sup);
+                    remaining = remaining.saturating_sub(per_parent_capacity);
+                }
+            }
+            frontier = next;
+        }
+
+        // Attach servers to the frontier round-robin-by-capacity.
+        let mut frontier_iter = frontier.iter().copied();
+        let mut current = frontier_iter.next().expect("frontier never empty");
+        for _ in 0..n_servers {
+            if spec.nodes[current.0 as usize].children.len() == fanout {
+                current = frontier_iter.next().expect("capacity computed above");
+            }
+            let server = spec.add_node(NodeRole::Server, current);
+            spec.servers.push(server);
+        }
+        spec
+    }
+
+    fn add_node(&mut self, role: NodeRole, parent: NodeId) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        let slot = self.nodes[parent.0 as usize].children.len() as u8;
+        self.nodes[parent.0 as usize].children.push(id);
+        self.nodes.push(NodeSpec { id, role, parent: Some(parent), slot, children: Vec::new() });
+        id
+    }
+
+    /// The configured fanout.
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// Node accessor.
+    pub fn node(&self, id: NodeId) -> &NodeSpec {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Number of tree levels below the manager (1 when servers attach
+    /// directly). This is the number of redirect hops a client performs.
+    pub fn depth(&self) -> usize {
+        let mut depth = 0;
+        let mut id = self.servers[0];
+        while let Some(parent) = self.node(id).parent {
+            depth += 1;
+            id = parent;
+        }
+        depth
+    }
+
+    /// Total interior (manager + supervisor) nodes.
+    pub fn interior_count(&self) -> usize {
+        self.nodes.len() - self.servers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_cluster_attaches_to_manager() {
+        let t = TreeSpec::build(10, 64);
+        assert_eq!(t.depth(), 1);
+        assert_eq!(t.servers.len(), 10);
+        assert_eq!(t.node(t.manager).children.len(), 10);
+        assert_eq!(t.interior_count(), 1);
+    }
+
+    #[test]
+    fn exactly_fanout_still_flat() {
+        let t = TreeSpec::build(64, 64);
+        assert_eq!(t.depth(), 1);
+        assert_eq!(t.interior_count(), 1);
+    }
+
+    #[test]
+    fn one_level_of_supervisors() {
+        let t = TreeSpec::build(65, 64);
+        assert_eq!(t.depth(), 2);
+        // Two supervisors needed: 64 + 1 servers.
+        assert_eq!(t.interior_count(), 1 + 2);
+        for node in &t.nodes {
+            assert!(node.children.len() <= 64, "fanout violated");
+        }
+    }
+
+    #[test]
+    fn depth_is_log_fanout() {
+        // The paper's O(log64 N) claim in miniature with fanout 4.
+        assert_eq!(TreeSpec::build(4, 4).depth(), 1);
+        assert_eq!(TreeSpec::build(5, 4).depth(), 2);
+        assert_eq!(TreeSpec::build(16, 4).depth(), 2);
+        assert_eq!(TreeSpec::build(17, 4).depth(), 3);
+        assert_eq!(TreeSpec::build(64, 4).depth(), 3);
+    }
+
+    #[test]
+    fn all_servers_reachable_and_slots_unique() {
+        let t = TreeSpec::build(300, 8);
+        assert_eq!(t.servers.len(), 300);
+        for node in &t.nodes {
+            // Slots within a parent are distinct and dense.
+            let slots: Vec<u8> =
+                node.children.iter().map(|c| t.node(*c).slot).collect();
+            for (i, &s) in slots.iter().enumerate() {
+                assert_eq!(s as usize, i);
+            }
+            // Children point back at the parent.
+            for &c in &node.children {
+                assert_eq!(t.node(c).parent, Some(node.id));
+            }
+        }
+        // Every server walks up to the manager.
+        for &s in &t.servers {
+            let mut id = s;
+            let mut hops = 0;
+            while let Some(p) = t.node(id).parent {
+                id = p;
+                hops += 1;
+                assert!(hops <= 10, "cycle or runaway depth");
+            }
+            assert_eq!(id, t.manager);
+        }
+    }
+
+    #[test]
+    fn large_cluster_depth_matches_paper() {
+        // 262144 = 64^3 servers: depth 3, the O(log64 N) growth.
+        let t = TreeSpec::build(64 * 64, 64);
+        assert_eq!(t.depth(), 2);
+        let t = TreeSpec::build(64 * 64 + 1, 64);
+        assert_eq!(t.depth(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_servers_rejected() {
+        TreeSpec::build(0, 64);
+    }
+}

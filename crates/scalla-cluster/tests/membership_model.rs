@@ -1,0 +1,124 @@
+//! Model-based test of the membership state machine (§III-A4 cases 1–4):
+//! arbitrary login/disconnect/drop-check sequences against a simple model
+//! tracking per-name status.
+
+use proptest::prelude::*;
+use scalla_cluster::{LoginOutcome, Membership, MembershipConfig};
+use scalla_util::Nanos;
+use std::collections::HashMap;
+
+const NAMES: u8 = 12;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Login { name: u8, exports_variant: bool },
+    Disconnect { name: u8 },
+    Advance { secs: u16 },
+    CheckDrops,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..NAMES, any::<bool>())
+            .prop_map(|(name, exports_variant)| Op::Login { name, exports_variant }),
+        2 => (0..NAMES).prop_map(|name| Op::Disconnect { name }),
+        3 => (1u16..90).prop_map(|secs| Op::Advance { secs }),
+        2 => Just(Op::CheckDrops),
+    ]
+}
+
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum ModelState {
+    Active { variant: bool },
+    Offline { since: Nanos, variant: bool },
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn membership_matches_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let drop_after = Nanos::from_secs(60);
+        let mut m = Membership::new(MembershipConfig { drop_after });
+        let mut now = Nanos::ZERO;
+        let mut model: HashMap<u8, ModelState> = HashMap::new();
+
+        for op in ops {
+            match op {
+                Op::Login { name, exports_variant } => {
+                    let exports = if exports_variant {
+                        vec!["/a".to_string(), "/b".to_string()]
+                    } else {
+                        vec!["/a".to_string()]
+                    };
+                    let out = m.login(&format!("srv-{name}"), &exports, now);
+                    match model.get(&name).copied() {
+                        None => {
+                            // New member (or ClusterFull, impossible here:
+                            // <= 12 names <= 64 slots).
+                            prop_assert!(matches!(out, LoginOutcome::New(_)), "{out:?}");
+                            model.insert(name, ModelState::Active { variant: exports_variant });
+                        }
+                        Some(ModelState::Active { variant })
+                        | Some(ModelState::Offline { variant, .. }) => {
+                            if variant == exports_variant {
+                                prop_assert!(
+                                    matches!(out, LoginOutcome::Reconnected(_)),
+                                    "same exports must be case 3: {out:?}"
+                                );
+                            } else {
+                                prop_assert!(
+                                    matches!(out, LoginOutcome::ReconnectedNewPaths(_)),
+                                    "changed exports are a new connection: {out:?}"
+                                );
+                            }
+                            model.insert(name, ModelState::Active { variant: exports_variant });
+                        }
+                    }
+                }
+                Op::Disconnect { name } => {
+                    if let Some(ModelState::Active { variant }) = model.get(&name).copied() {
+                        // Find the slot by probing active set membership.
+                        let before = m.active();
+                        // Disconnect every slot whose meta name matches.
+                        for slot in before {
+                            if m.meta(slot).map(|x| x.name == format!("srv-{name}")) == Some(true) {
+                                m.disconnect(slot, now);
+                            }
+                        }
+                        model.insert(name, ModelState::Offline { since: now, variant });
+                    }
+                }
+                Op::Advance { secs } => {
+                    now += Nanos::from_secs(u64::from(secs));
+                }
+                Op::CheckDrops => {
+                    let dropped = m.check_drops(now);
+                    // Model: offline entries past the limit disappear.
+                    let mut expected = 0;
+                    model.retain(|_, s| match *s {
+                        ModelState::Offline { since, .. }
+                            if now.since(since) > drop_after =>
+                        {
+                            expected += 1;
+                            false
+                        }
+                        _ => true,
+                    });
+                    prop_assert_eq!(dropped.len() as usize, expected);
+                }
+            }
+            // Set cardinalities always agree with the model.
+            let model_active =
+                model.values().filter(|s| matches!(s, ModelState::Active { .. })).count();
+            let model_offline =
+                model.values().filter(|s| matches!(s, ModelState::Offline { .. })).count();
+            prop_assert_eq!(m.active().len() as usize, model_active);
+            prop_assert_eq!(m.offline().len() as usize, model_offline);
+            // V_m only ever contains members.
+            let members = m.active() | m.offline();
+            prop_assert!(m.vm_for("/a/x").is_subset(members));
+            prop_assert!(m.vm_for("/b/x").is_subset(members));
+        }
+    }
+}

@@ -1,0 +1,856 @@
+//! The cmsd state machine: manager and supervisor roles.
+//!
+//! A cmsd owns a [`NameCache`], a 64-slot [`Membership`], and a selection
+//! policy. It accepts logins from subordinates (supervisors or data
+//! servers), resolves client `Open`s by redirecting one level down the tree
+//! (§II-B3), floods request-rarely-respond `Locate` queries (§III-B), and —
+//! in supervisor role — compresses its subtree's positive responses into a
+//! single upward `Have` (§II-B2).
+//!
+//! Replicated heads: "Clients first contact the logical head node (which
+//! can be one of many)" (§II-B2). A node may therefore have several
+//! parents; it logs into each and answers locates from any of them.
+
+use crate::server::tokens;
+use scalla_cache::{AccessMode, CacheConfig, NameCache, Resolution, Waiter};
+use scalla_cluster::{LoginOutcome, Membership, MembershipConfig, SelectionPolicy, Selector};
+use scalla_proto::{Addr, ClientMsg, CmsMsg, ErrCode, Msg, NodeRoleTag, ServerMsg, NO_CLIENT};
+use scalla_simnet::{NetCtx, Node};
+use scalla_util::{crc32, Clock, Nanos, ServerId, ServerSet, MAX_SERVERS};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Interior-node role.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CmsdRole {
+    /// Root of the tree; clients contact it first.
+    Manager,
+    /// Interior node: aggregates up to 64 subordinates, logs into parents.
+    Supervisor,
+}
+
+/// cmsd configuration.
+#[derive(Clone)]
+pub struct CmsdConfig {
+    /// Host name, used in redirects.
+    pub name: String,
+    /// Manager or supervisor.
+    pub role: CmsdRole,
+    /// Parent addresses (empty for a manager; several when heads are
+    /// replicated).
+    pub parents: Vec<Addr>,
+    /// Export prefixes declared at login to parents.
+    pub exports: Vec<String>,
+    /// Location-cache tuning (paper defaults unless overridden).
+    pub cache: CacheConfig,
+    /// Membership tuning (drop delay).
+    pub membership: MembershipConfig,
+    /// Server-selection criterion (§II-B3).
+    pub policy: SelectionPolicy,
+    /// Period between upward load reports.
+    pub heartbeat: Nanos,
+    /// A subordinate silent for longer than this is marked offline.
+    pub offline_after: Nanos,
+    /// Deterministic seed for tie-breaking.
+    pub seed: u64,
+}
+
+impl CmsdConfig {
+    /// A manager with paper-default tuning.
+    pub fn manager(name: impl Into<String>) -> CmsdConfig {
+        CmsdConfig {
+            name: name.into(),
+            role: CmsdRole::Manager,
+            parents: Vec::new(),
+            exports: vec!["/".to_string()],
+            cache: CacheConfig::default(),
+            membership: MembershipConfig::default(),
+            policy: SelectionPolicy::RoundRobin,
+            heartbeat: Nanos::from_secs(1),
+            offline_after: Nanos::from_secs(3),
+            seed: 0,
+        }
+    }
+
+    /// A supervisor under `parent`.
+    pub fn supervisor(name: impl Into<String>, parent: Addr) -> CmsdConfig {
+        CmsdConfig {
+            role: CmsdRole::Supervisor,
+            parents: vec![parent],
+            ..CmsdConfig::manager(name)
+        }
+    }
+}
+
+/// The cmsd node.
+pub struct CmsdNode {
+    cfg: CmsdConfig,
+    cache: NameCache,
+    members: Membership,
+    selector: Selector,
+    child_addr: [Option<Addr>; MAX_SERVERS],
+    child_name: Vec<Option<String>>,
+    addr_to_slot: HashMap<Addr, ServerId>,
+    name_to_slot: HashMap<String, ServerId>,
+    last_heard: [Nanos; MAX_SERVERS],
+    next_reqid: u64,
+}
+
+impl CmsdNode {
+    /// Creates a cmsd with the given clock (virtual under the simulator,
+    /// system under the live runtime).
+    pub fn new(cfg: CmsdConfig, clock: Arc<dyn Clock>) -> CmsdNode {
+        let cache = NameCache::new(cfg.cache.clone(), clock);
+        let members = Membership::new(cfg.membership.clone());
+        let selector = Selector::new(cfg.policy, cfg.seed);
+        CmsdNode {
+            cfg,
+            cache,
+            members,
+            selector,
+            child_addr: [None; MAX_SERVERS],
+            child_name: vec![None; MAX_SERVERS],
+            addr_to_slot: HashMap::new(),
+            name_to_slot: HashMap::new(),
+            last_heard: [Nanos::ZERO; MAX_SERVERS],
+            next_reqid: 0,
+        }
+    }
+
+    /// The node's location cache (harness/statistics access).
+    pub fn cache(&self) -> &NameCache {
+        &self.cache
+    }
+
+    /// The membership table.
+    pub fn members(&self) -> &Membership {
+        &self.members
+    }
+
+    /// The configured host name.
+    pub fn name(&self) -> &str {
+        &self.cfg.name
+    }
+
+    fn is_parent(&self, addr: Addr) -> bool {
+        self.cfg.parents.contains(&addr)
+    }
+
+    fn fresh_reqid(&mut self) -> u64 {
+        self.next_reqid += 1;
+        self.next_reqid
+    }
+
+    /// Core resolution driver shared by client `Open` and parent `Locate`.
+    ///
+    /// For a parent requester the positive answer is an upward `Have`
+    /// (compressed across children) and every negative outcome is silence;
+    /// for a client the answers are `Redirect`/`Wait`/`Error`.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_resolution(
+        &mut self,
+        ctx: &mut dyn NetCtx,
+        requester: Addr,
+        tag: u64,
+        path: &str,
+        write: bool,
+        refresh: bool,
+        avoid_name: Option<&str>,
+    ) {
+        let from_parent = self.is_parent(requester);
+        let silent = requester == NO_CLIENT;
+        let vm = self.members.vm_for(path);
+        if vm.is_empty() {
+            if !from_parent && !silent {
+                ctx.send(
+                    requester,
+                    ServerMsg::Error {
+                        code: ErrCode::NoEligibleServer,
+                        detail: format!("no server exports a prefix of {path}"),
+                    }
+                    .into(),
+                );
+            }
+            return;
+        }
+
+        let avoid = avoid_name
+            .and_then(|n| self.name_to_slot.get(n).copied())
+            .map(ServerSet::single)
+            .unwrap_or(ServerSet::EMPTY);
+        let mode = if write { AccessMode::Write } else { AccessMode::Read };
+        let waiter = Waiter::new(requester.0, tag);
+
+        let out = self.cache.resolve_full(
+            path,
+            vm,
+            self.members.offline(),
+            mode,
+            waiter,
+            avoid,
+            refresh,
+        );
+
+        // Step 5: flood the query set; step 6: requeue children we could
+        // not reach (no address — should not happen for V_m members, but
+        // membership and cache are loosely coupled, so handle it).
+        if !out.query.is_empty() {
+            let reqid = self.fresh_reqid();
+            let hash = crc32(path.as_bytes());
+            let mut unreachable = ServerSet::EMPTY;
+            for slot in out.query {
+                match self.child_addr[slot as usize] {
+                    Some(addr) => ctx.send(
+                        addr,
+                        CmsMsg::Locate { reqid, path: path.to_string(), hash, write }.into(),
+                    ),
+                    None => unreachable.insert(slot),
+                }
+            }
+            if !unreachable.is_empty() {
+                self.cache.requeue(path, out.locref, unreachable);
+            }
+        }
+
+        match out.resolution {
+            Resolution::Redirect { online, preparing } => {
+                if from_parent {
+                    ctx.send(
+                        requester,
+                        CmsMsg::Have {
+                            reqid: tag,
+                            path: path.to_string(),
+                            hash: crc32(path.as_bytes()),
+                            staging: online.is_empty(),
+                        }
+                        .into(),
+                    );
+                } else if !silent {
+                    let candidates = if online.is_empty() { preparing } else { online };
+                    let pick = self
+                        .selector
+                        .select(candidates, &mut self.members)
+                        .expect("redirect with non-empty candidates");
+                    let host = self.child_name[pick as usize]
+                        .clone()
+                        .unwrap_or_else(|| format!("slot-{pick}"));
+                    ctx.send(requester, ServerMsg::Redirect { host }.into());
+                }
+            }
+            Resolution::Queued => {
+                // Answer arrives via a Have release or the sweep timeout.
+            }
+            Resolution::NotFound => {
+                if from_parent || silent {
+                    // Request-rarely-respond: silence is the negative.
+                    return;
+                }
+                if write {
+                    // Write allocation: the file provably does not exist,
+                    // so pick a server by the configured criteria.
+                    let candidates = vm & self.members.active() & !avoid;
+                    match self.selector.select(candidates, &mut self.members) {
+                        Some(pick) => {
+                            let host = self.child_name[pick as usize]
+                                .clone()
+                                .unwrap_or_else(|| format!("slot-{pick}"));
+                            ctx.send(requester, ServerMsg::Redirect { host }.into());
+                        }
+                        None => ctx.send(
+                            requester,
+                            ServerMsg::Error {
+                                code: ErrCode::NoEligibleServer,
+                                detail: "no active server for allocation".into(),
+                            }
+                            .into(),
+                        ),
+                    }
+                } else {
+                    ctx.send(
+                        requester,
+                        ServerMsg::Error {
+                            code: ErrCode::NotFound,
+                            detail: format!("{path} does not exist in the cluster"),
+                        }
+                        .into(),
+                    );
+                }
+            }
+            Resolution::WaitRetry { delay } => {
+                if !from_parent && !silent {
+                    ctx.send(requester, ServerMsg::Wait { millis: delay.as_millis() }.into());
+                }
+            }
+        }
+    }
+
+    fn handle_have(
+        &mut self,
+        ctx: &mut dyn NetCtx,
+        from: Addr,
+        path: String,
+        hash: u32,
+        staging: bool,
+    ) {
+        let Some(&slot) = self.addr_to_slot.get(&from) else {
+            return; // Response from a dropped member: stale, ignore.
+        };
+        self.last_heard[slot as usize] = ctx.now();
+        let released = self.cache.update_have_hashed(&path, hash, slot, staging);
+        for (waiter, srv_slot) in released {
+            if waiter.client == NO_CLIENT.0 {
+                continue; // background prepare look-up
+            }
+            let who = Addr(waiter.client);
+            if self.is_parent(who) {
+                // Compress: one upward Have per outstanding parent request.
+                ctx.send(
+                    who,
+                    CmsMsg::Have { reqid: waiter.tag, path: path.clone(), hash, staging }.into(),
+                );
+            } else {
+                self.members.note_selected(srv_slot);
+                let host = self.child_name[srv_slot as usize]
+                    .clone()
+                    .unwrap_or_else(|| format!("slot-{srv_slot}"));
+                ctx.send(who, ServerMsg::Redirect { host }.into());
+            }
+        }
+    }
+
+    fn handle_login(
+        &mut self,
+        ctx: &mut dyn NetCtx,
+        from: Addr,
+        name: String,
+        exports: Vec<String>,
+    ) {
+        match self.members.login(&name, &exports, ctx.now()) {
+            LoginOutcome::ClusterFull => {
+                ctx.send(from, CmsMsg::LoginRejected { reason: "server set full".into() }.into());
+            }
+            outcome => {
+                let slot = outcome.id().expect("non-full outcomes carry an id");
+                // "Login is also the time that the server is added to V_c."
+                self.cache.note_connect(slot);
+                // Clear any stale mapping for a reused slot.
+                if let Some(old) = self.child_addr[slot as usize] {
+                    if old != from {
+                        self.addr_to_slot.remove(&old);
+                    }
+                }
+                if let Some(old_name) = &self.child_name[slot as usize] {
+                    if *old_name != name {
+                        self.name_to_slot.remove(old_name);
+                    }
+                }
+                self.child_addr[slot as usize] = Some(from);
+                self.child_name[slot as usize] = Some(name.clone());
+                self.addr_to_slot.insert(from, slot);
+                self.name_to_slot.insert(name, slot);
+                self.last_heard[slot as usize] = ctx.now();
+                ctx.send(from, CmsMsg::LoginOk { slot }.into());
+            }
+        }
+    }
+
+    fn heartbeat_load(&self) -> u32 {
+        // A cmsd's "load" proxy: live cached objects (cheap, monotone with
+        // request traffic).
+        self.cache.len() as u32
+    }
+}
+
+impl Node for CmsdNode {
+    fn on_start(&mut self, ctx: &mut dyn NetCtx) {
+        for &parent in &self.cfg.parents {
+            ctx.send(
+                parent,
+                CmsMsg::Login {
+                    name: self.cfg.name.clone(),
+                    role: NodeRoleTag::Supervisor,
+                    exports: self.cfg.exports.clone(),
+                }
+                .into(),
+            );
+        }
+        ctx.set_timer(self.cfg.cache.fast_window, tokens::SWEEP);
+        ctx.set_timer(self.cfg.cache.window_period(), tokens::TICK);
+        ctx.set_timer(self.cfg.offline_after.div(2).max(Nanos::from_millis(100)), tokens::HEALTH);
+        ctx.set_timer(self.cfg.membership.drop_after.div(4).max(Nanos::from_millis(100)), tokens::DROPS);
+        if !self.cfg.parents.is_empty() {
+            ctx.set_timer(self.cfg.heartbeat, tokens::HEARTBEAT);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut dyn NetCtx, from: Addr, msg: Msg) {
+        match msg {
+            Msg::Cms(CmsMsg::Login { name, exports, .. }) => {
+                self.handle_login(ctx, from, name, exports);
+            }
+            Msg::Cms(CmsMsg::LoginOk { .. }) => {
+                // Slot assignment at the parent; nothing to store — the
+                // parent routes by address.
+            }
+            Msg::Cms(CmsMsg::LoginRejected { .. }) => {
+                // Parent set full; a production deployment would retry at
+                // an alternate supervisor. Surfaced via stats in the sim.
+            }
+            Msg::Cms(CmsMsg::Locate { reqid, path, write, .. }) => {
+                self.handle_resolution(ctx, from, reqid, &path, write, false, None);
+            }
+            Msg::Cms(CmsMsg::Have { path, hash, staging, .. }) => {
+                self.handle_have(ctx, from, path, hash, staging);
+            }
+            Msg::Cms(CmsMsg::NsEvent { .. }) => {
+                // Namespace events are the CNS daemon's concern; the
+                // cluster keeps no global namespace (§II-B4).
+            }
+            Msg::Cms(CmsMsg::Manifest { .. }) => {
+                // Scalla never ingests manifests; only the GFS-style
+                // baseline master does. Ignoring it here documents the
+                // design choice of §V.
+            }
+            Msg::Cms(CmsMsg::LoadReport { load, free_bytes }) => {
+                if let Some(&slot) = self.addr_to_slot.get(&from) {
+                    self.members.report_load(slot, load, free_bytes);
+                    self.last_heard[slot as usize] = ctx.now();
+                }
+            }
+            Msg::Client(ClientMsg::Open { path, write, refresh, avoid }) => {
+                self.handle_resolution(ctx, from, 0, &path, write, refresh, avoid.as_deref());
+            }
+            Msg::Client(ClientMsg::Prepare { paths }) => {
+                // §III-B2: spawn parallel background look-ups; the client
+                // pays at most one full delay later.
+                for path in &paths {
+                    self.handle_resolution(ctx, NO_CLIENT, 0, path, false, false, None);
+                }
+                ctx.send(from, ServerMsg::PrepareOk.into());
+            }
+            Msg::Client(_) => {
+                ctx.send(
+                    from,
+                    ServerMsg::Error {
+                        code: ErrCode::BadRequest,
+                        detail: "i/o requests must go to a data server".into(),
+                    }
+                    .into(),
+                );
+            }
+            Msg::Server(_) => {
+                // Responses are client-bound; a cmsd never expects one.
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn NetCtx, token: u64) {
+        match token {
+            tokens::SWEEP => {
+                let full = self.cache.config().full_delay;
+                for w in self.cache.sweep() {
+                    if w.client == NO_CLIENT.0 {
+                        continue;
+                    }
+                    let who = Addr(w.client);
+                    if !self.is_parent(who) {
+                        ctx.send(who, ServerMsg::Wait { millis: full.as_millis() }.into());
+                    }
+                }
+                ctx.set_timer(self.cfg.cache.fast_window, tokens::SWEEP);
+            }
+            tokens::TICK => {
+                self.cache.tick();
+                ctx.set_timer(Nanos::from_millis(1), tokens::COLLECT);
+                ctx.set_timer(self.cfg.cache.window_period(), tokens::TICK);
+            }
+            tokens::COLLECT => {
+                const BATCH: usize = 1024;
+                if self.cache.collect(BATCH) == BATCH {
+                    ctx.set_timer(Nanos::from_millis(1), tokens::COLLECT);
+                }
+            }
+            tokens::HEALTH => {
+                let now = ctx.now();
+                for slot in self.members.active() {
+                    if now.since(self.last_heard[slot as usize]) > self.cfg.offline_after {
+                        self.members.disconnect(slot, now);
+                    }
+                }
+                ctx.set_timer(
+                    self.cfg.offline_after.div(2).max(Nanos::from_millis(100)),
+                    tokens::HEALTH,
+                );
+            }
+            tokens::DROPS => {
+                let dropped = self.members.check_drops(ctx.now());
+                for slot in dropped {
+                    if let Some(addr) = self.child_addr[slot as usize].take() {
+                        self.addr_to_slot.remove(&addr);
+                    }
+                    if let Some(name) = self.child_name[slot as usize].take() {
+                        self.name_to_slot.remove(&name);
+                    }
+                }
+                ctx.set_timer(
+                    self.cfg.membership.drop_after.div(4).max(Nanos::from_millis(100)),
+                    tokens::DROPS,
+                );
+            }
+            tokens::HEARTBEAT => {
+                let load = self.heartbeat_load();
+                for &parent in &self.cfg.parents {
+                    ctx.send(parent, CmsMsg::LoadReport { load, free_bytes: 0 }.into());
+                }
+                ctx.set_timer(self.cfg.heartbeat, tokens::HEARTBEAT);
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::MockCtx;
+    use scalla_util::VirtualClock;
+
+    fn mk_manager(clock: Arc<VirtualClock>) -> CmsdNode {
+        let mut cfg = CmsdConfig::manager("mgr");
+        cfg.cache = CacheConfig::for_tests();
+        cfg.cache.response_anchors = 64;
+        CmsdNode::new(cfg, clock)
+    }
+
+    /// Logs `n` servers in from addresses 1000, 1001, ... and returns them.
+    fn login_servers(node: &mut CmsdNode, ctx: &mut MockCtx, n: u64) -> Vec<Addr> {
+        let mut addrs = Vec::new();
+        for i in 0..n {
+            let addr = Addr(1000 + i);
+            node.on_message(
+                ctx,
+                addr,
+                CmsMsg::Login {
+                    name: format!("srv-{i}"),
+                    role: NodeRoleTag::Server,
+                    exports: vec!["/data".into()],
+                }
+                .into(),
+            );
+            addrs.push(addr);
+        }
+        addrs
+    }
+
+    fn open(path: &str) -> Msg {
+        ClientMsg::Open { path: path.into(), write: false, refresh: false, avoid: None }.into()
+    }
+
+    #[test]
+    fn login_assigns_slots_and_notes_connect() {
+        let clock = Arc::new(VirtualClock::new());
+        let mut node = mk_manager(clock);
+        let mut ctx = MockCtx::new();
+        let addrs = login_servers(&mut node, &mut ctx, 2);
+        assert_eq!(node.cache().nc(), 2, "each login must bump N_c");
+        let oks: Vec<u8> = ctx
+            .sends
+            .iter()
+            .filter_map(|(to, m)| match m {
+                Msg::Cms(CmsMsg::LoginOk { slot }) => {
+                    assert!(addrs.contains(to));
+                    Some(*slot)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(oks, vec![0, 1]);
+        assert_eq!(node.members().active(), ServerSet::first_n(2));
+    }
+
+    #[test]
+    fn open_miss_floods_locate_to_exporting_children() {
+        let clock = Arc::new(VirtualClock::new());
+        let mut node = mk_manager(clock);
+        let mut ctx = MockCtx::new();
+        let addrs = login_servers(&mut node, &mut ctx, 3);
+        ctx.sends.clear();
+        let client = Addr(7);
+        node.on_message(&mut ctx, client, open("/data/f"));
+        let targets: Vec<Addr> = ctx
+            .sends
+            .iter()
+            .filter_map(|(to, m)| matches!(m, Msg::Cms(CmsMsg::Locate { .. })).then_some(*to))
+            .collect();
+        assert_eq!(targets, addrs, "every eligible child must be asked");
+        // No client-visible reply yet: the client waits on the fast queue.
+        assert!(ctx.sends.iter().all(|(_, m)| !matches!(m, Msg::Server(_))));
+    }
+
+    #[test]
+    fn have_releases_waiting_client_with_redirect() {
+        let clock = Arc::new(VirtualClock::new());
+        let mut node = mk_manager(clock);
+        let mut ctx = MockCtx::new();
+        let addrs = login_servers(&mut node, &mut ctx, 3);
+        let client = Addr(7);
+        node.on_message(&mut ctx, client, open("/data/f"));
+        ctx.sends.clear();
+        let hash = crc32(b"/data/f");
+        node.on_message(
+            &mut ctx,
+            addrs[1],
+            CmsMsg::Have { reqid: 1, path: "/data/f".into(), hash, staging: false }.into(),
+        );
+        assert_eq!(ctx.sends.len(), 1);
+        match &ctx.sends[0] {
+            (to, Msg::Server(ServerMsg::Redirect { host })) => {
+                assert_eq!(*to, client);
+                assert_eq!(host, "srv-1");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn cached_hit_redirects_immediately() {
+        let clock = Arc::new(VirtualClock::new());
+        let mut node = mk_manager(clock);
+        let mut ctx = MockCtx::new();
+        let addrs = login_servers(&mut node, &mut ctx, 2);
+        node.on_message(&mut ctx, Addr(7), open("/data/f"));
+        let hash = crc32(b"/data/f");
+        node.on_message(
+            &mut ctx,
+            addrs[0],
+            CmsMsg::Have { reqid: 1, path: "/data/f".into(), hash, staging: false }.into(),
+        );
+        ctx.sends.clear();
+        node.on_message(&mut ctx, Addr(8), open("/data/f"));
+        assert!(matches!(
+            &ctx.sends[0],
+            (Addr(8), Msg::Server(ServerMsg::Redirect { host })) if host == "srv-0"
+        ));
+    }
+
+    #[test]
+    fn supervisor_compresses_child_responses_upward() {
+        let clock = Arc::new(VirtualClock::new());
+        let parent = Addr(1);
+        let mut cfg = CmsdConfig::supervisor("sup-0", parent);
+        cfg.cache = CacheConfig::for_tests();
+        let mut node = CmsdNode::new(cfg, clock);
+        let mut ctx = MockCtx::new();
+        let addrs = login_servers(&mut node, &mut ctx, 3);
+        ctx.sends.clear();
+        let hash = crc32(b"/data/f");
+        // Parent asks.
+        node.on_message(
+            &mut ctx,
+            parent,
+            CmsMsg::Locate { reqid: 99, path: "/data/f".into(), hash, write: false }.into(),
+        );
+        assert_eq!(
+            ctx.sends.iter().filter(|(_, m)| matches!(m, Msg::Cms(CmsMsg::Locate { .. }))).count(),
+            3
+        );
+        ctx.sends.clear();
+        // Two children respond; only ONE upward Have must result.
+        for &a in &addrs[..2] {
+            node.on_message(
+                &mut ctx,
+                a,
+                CmsMsg::Have { reqid: 5, path: "/data/f".into(), hash, staging: false }.into(),
+            );
+        }
+        let ups: Vec<&Msg> = ctx
+            .sends
+            .iter()
+            .filter_map(|(to, m)| (*to == parent && matches!(m, Msg::Cms(CmsMsg::Have { .. }))).then_some(m))
+            .collect();
+        assert_eq!(ups.len(), 1, "responses must be compressed (§II-B2)");
+        match ups[0] {
+            Msg::Cms(CmsMsg::Have { reqid, .. }) => assert_eq!(*reqid, 99, "parent's reqid echoed"),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn parent_locate_for_unknown_file_is_silent() {
+        let clock = Arc::new(VirtualClock::new());
+        let parent = Addr(1);
+        let mut cfg = CmsdConfig::supervisor("sup-0", parent);
+        cfg.cache = CacheConfig::for_tests();
+        let mut node = CmsdNode::new(cfg, clock.clone());
+        let mut ctx = MockCtx::new();
+        login_servers(&mut node, &mut ctx, 2);
+        ctx.sends.clear();
+        node.on_message(
+            &mut ctx,
+            parent,
+            CmsMsg::Locate { reqid: 1, path: "/data/ghost".into(), hash: crc32(b"/data/ghost"), write: false }
+                .into(),
+        );
+        // Floods down but nothing goes back up, even after the deadline.
+        assert!(ctx.sends.iter().all(|(to, _)| *to != parent));
+        clock.advance(Nanos::from_secs(6));
+        ctx.sends.clear();
+        node.on_message(
+            &mut ctx,
+            parent,
+            CmsMsg::Locate { reqid: 2, path: "/data/ghost".into(), hash: crc32(b"/data/ghost"), write: false }
+                .into(),
+        );
+        assert!(ctx.sends.iter().all(|(to, _)| *to != parent), "silence is the negative");
+    }
+
+    #[test]
+    fn sweep_sends_full_wait_to_clients() {
+        let clock = Arc::new(VirtualClock::new());
+        let mut node = mk_manager(clock.clone());
+        let mut ctx = MockCtx::new();
+        login_servers(&mut node, &mut ctx, 2);
+        let client = Addr(7);
+        node.on_message(&mut ctx, client, open("/data/f"));
+        ctx.sends.clear();
+        clock.advance(Nanos::from_millis(200)); // > 133 ms
+        node.on_timer(&mut ctx, tokens::SWEEP);
+        assert!(matches!(
+            &ctx.sends[0],
+            (Addr(7), Msg::Server(ServerMsg::Wait { millis: 5000 }))
+        ));
+    }
+
+    #[test]
+    fn write_allocation_after_notfound() {
+        let clock = Arc::new(VirtualClock::new());
+        let mut node = mk_manager(clock.clone());
+        let mut ctx = MockCtx::new();
+        login_servers(&mut node, &mut ctx, 2);
+        let client = Addr(7);
+        // First create attempt: queued + flood.
+        node.on_message(
+            &mut ctx,
+            client,
+            ClientMsg::Open { path: "/data/new".into(), write: true, refresh: false, avoid: None }.into(),
+        );
+        // Deadline passes with no Have: retry must allocate.
+        clock.advance(Nanos::from_secs(6));
+        ctx.sends.clear();
+        node.on_message(
+            &mut ctx,
+            client,
+            ClientMsg::Open { path: "/data/new".into(), write: true, refresh: false, avoid: None }.into(),
+        );
+        assert!(matches!(
+            &ctx.sends[0],
+            (Addr(7), Msg::Server(ServerMsg::Redirect { .. }))
+        ));
+    }
+
+    #[test]
+    fn read_of_nonexistent_file_errors_after_deadline() {
+        let clock = Arc::new(VirtualClock::new());
+        let mut node = mk_manager(clock.clone());
+        let mut ctx = MockCtx::new();
+        login_servers(&mut node, &mut ctx, 2);
+        node.on_message(&mut ctx, Addr(7), open("/data/ghost"));
+        clock.advance(Nanos::from_secs(6));
+        ctx.sends.clear();
+        node.on_message(&mut ctx, Addr(7), open("/data/ghost"));
+        assert!(matches!(
+            &ctx.sends[0],
+            (Addr(7), Msg::Server(ServerMsg::Error { code: ErrCode::NotFound, .. }))
+        ));
+    }
+
+    #[test]
+    fn no_eligible_server_error() {
+        let clock = Arc::new(VirtualClock::new());
+        let mut node = mk_manager(clock);
+        let mut ctx = MockCtx::new();
+        login_servers(&mut node, &mut ctx, 2); // export /data only
+        ctx.sends.clear();
+        node.on_message(&mut ctx, Addr(7), open("/elsewhere/f"));
+        assert!(matches!(
+            &ctx.sends[0],
+            (Addr(7), Msg::Server(ServerMsg::Error { code: ErrCode::NoEligibleServer, .. }))
+        ));
+    }
+
+    #[test]
+    fn avoid_steers_away_from_failing_server() {
+        let clock = Arc::new(VirtualClock::new());
+        let mut node = mk_manager(clock);
+        let mut ctx = MockCtx::new();
+        let addrs = login_servers(&mut node, &mut ctx, 2);
+        node.on_message(&mut ctx, Addr(7), open("/data/f"));
+        let hash = crc32(b"/data/f");
+        for &a in &addrs {
+            node.on_message(
+                &mut ctx,
+                a,
+                CmsMsg::Have { reqid: 1, path: "/data/f".into(), hash, staging: false }.into(),
+            );
+        }
+        ctx.sends.clear();
+        node.on_message(
+            &mut ctx,
+            Addr(8),
+            ClientMsg::Open {
+                path: "/data/f".into(),
+                write: false,
+                refresh: false,
+                avoid: Some("srv-0".into()),
+            }
+            .into(),
+        );
+        assert!(matches!(
+            &ctx.sends[0],
+            (Addr(8), Msg::Server(ServerMsg::Redirect { host })) if host == "srv-1"
+        ));
+    }
+
+    #[test]
+    fn prepare_floods_and_acks_once() {
+        let clock = Arc::new(VirtualClock::new());
+        let mut node = mk_manager(clock);
+        let mut ctx = MockCtx::new();
+        login_servers(&mut node, &mut ctx, 2);
+        ctx.sends.clear();
+        node.on_message(
+            &mut ctx,
+            Addr(7),
+            ClientMsg::Prepare { paths: vec!["/data/a".into(), "/data/b".into()] }.into(),
+        );
+        let locates = ctx.sends.iter().filter(|(_, m)| matches!(m, Msg::Cms(CmsMsg::Locate { .. }))).count();
+        assert_eq!(locates, 4, "two paths x two servers");
+        let acks = ctx.sends.iter().filter(|(_, m)| matches!(m, Msg::Server(ServerMsg::PrepareOk))).count();
+        assert_eq!(acks, 1);
+    }
+
+    #[test]
+    fn heartbeat_silence_marks_offline_then_drop() {
+        let clock = Arc::new(VirtualClock::new());
+        let mut node = mk_manager(clock.clone());
+        let mut ctx = MockCtx::new();
+        login_servers(&mut node, &mut ctx, 2);
+        // srv-1 keeps reporting; srv-0 goes silent.
+        clock.advance(Nanos::from_secs(5));
+        ctx.now = clock.now();
+        node.on_message(&mut ctx, Addr(1001), CmsMsg::LoadReport { load: 1, free_bytes: 0 }.into());
+        node.on_timer(&mut ctx, tokens::HEALTH);
+        assert_eq!(node.members().offline(), ServerSet::single(0));
+        // Past the drop limit the silent server is dropped entirely.
+        clock.advance(Nanos::from_mins(11));
+        ctx.now = clock.now();
+        node.on_timer(&mut ctx, tokens::DROPS);
+        assert_eq!(node.members().offline(), ServerSet::EMPTY);
+        assert!(node.members().vm_for("/data/f").contains(1));
+        assert!(!node.members().vm_for("/data/f").contains(0));
+    }
+}

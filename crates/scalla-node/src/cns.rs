@@ -1,0 +1,206 @@
+//! The Cluster Name Space daemon.
+//!
+//! Scalla deliberately omits cluster-wide namespace operations: "Semantics
+//! that conflict with the goal of low latency are not natively present
+//! (e.g., an ls-type function across all nodes in a cluster)" (§II-B4),
+//! and §V notes that "obtaining global lists of files is not implemented
+//! except through a separate Cluster Name Space Daemon". Footnote 3
+//! records that full POSIX semantics are layered on top of native Scalla
+//! features using exactly this daemon (plus FUSE, which is out of scope
+//! here).
+//!
+//! [`CnsNode`] maintains the composite namespace from [`NsEvent`]
+//! notifications sent by data servers (initial sync at server start,
+//! then incremental create/delete events) and answers
+//! [`ClientMsg::List`] queries. It keeps a per-path holder count so a
+//! file replicated on several servers disappears from listings only when
+//! the last replica goes.
+//!
+//! [`NsEvent`]: scalla_proto::CmsMsg::NsEvent
+//! [`ClientMsg::List`]: scalla_proto::ClientMsg::List
+
+use scalla_proto::{Addr, ClientMsg, CmsMsg, Msg, ServerMsg};
+use scalla_simnet::{NetCtx, Node};
+use std::collections::{BTreeMap, HashMap};
+
+/// Splits `/a/b/c` into (`/a/b`, `c`); the root's parent is `/`.
+fn split_parent(path: &str) -> (String, String) {
+    let trimmed = path.trim_end_matches('/');
+    match trimmed.rfind('/') {
+        Some(0) => ("/".to_string(), trimmed[1..].to_string()),
+        Some(i) => (trimmed[..i].to_string(), trimmed[i + 1..].to_string()),
+        None => ("/".to_string(), trimmed.to_string()),
+    }
+}
+
+/// The composite-namespace daemon.
+#[derive(Default)]
+pub struct CnsNode {
+    /// directory -> entry name -> replica count.
+    dirs: BTreeMap<String, BTreeMap<String, u32>>,
+    /// full path -> replica count (for delete bookkeeping).
+    files: HashMap<String, u32>,
+    /// Events processed (diagnostics).
+    pub events: u64,
+}
+
+impl CnsNode {
+    /// Creates an empty namespace.
+    pub fn new() -> CnsNode {
+        CnsNode::default()
+    }
+
+    /// Number of distinct files known.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Looks a directory listing up directly (harness/testing).
+    pub fn list(&self, dir: &str) -> Vec<String> {
+        let dir = if dir.len() > 1 { dir.trim_end_matches('/') } else { dir };
+        self.dirs
+            .get(dir)
+            .map(|m| m.keys().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    fn record(&mut self, created: bool, path: &str) {
+        self.events += 1;
+        // Register every ancestor directory so intermediate levels list
+        // their children too.
+        if created {
+            let count = self.files.entry(path.to_string()).or_insert(0);
+            *count += 1;
+            if *count == 1 {
+                let mut child = path.to_string();
+                loop {
+                    let (parent, name) = split_parent(&child);
+                    let entry = self.dirs.entry(parent.clone()).or_default();
+                    let first_ref = !entry.contains_key(&name);
+                    *entry.entry(name).or_insert(0) += 1;
+                    if parent == "/" || !first_ref {
+                        break;
+                    }
+                    child = parent;
+                }
+            }
+        } else if let Some(count) = self.files.get_mut(path) {
+            *count -= 1;
+            if *count == 0 {
+                self.files.remove(path);
+                let mut child = path.to_string();
+                loop {
+                    let (parent, name) = split_parent(&child);
+                    let mut now_empty = false;
+                    if let Some(entry) = self.dirs.get_mut(&parent) {
+                        if let Some(n) = entry.get_mut(&name) {
+                            *n -= 1;
+                            if *n == 0 {
+                                entry.remove(&name);
+                            }
+                        }
+                        if entry.is_empty() {
+                            self.dirs.remove(&parent);
+                            now_empty = true;
+                        }
+                    }
+                    if parent == "/" || !now_empty {
+                        break;
+                    }
+                    child = parent;
+                }
+            }
+        }
+    }
+}
+
+impl Node for CnsNode {
+    fn on_message(&mut self, ctx: &mut dyn NetCtx, from: Addr, msg: Msg) {
+        match msg {
+            Msg::Cms(CmsMsg::NsEvent { created, path }) => {
+                self.record(created, &path);
+            }
+            Msg::Client(ClientMsg::List { dir }) => {
+                ctx.send(from, ServerMsg::ListOk { entries: self.list(&dir) }.into());
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cns_with(paths: &[&str]) -> CnsNode {
+        let mut cns = CnsNode::new();
+        for p in paths {
+            cns.record(true, p);
+        }
+        cns
+    }
+
+    #[test]
+    fn listings_by_directory() {
+        let cns = cns_with(&["/a/b/f1", "/a/b/f2", "/a/c/f3", "/top"]);
+        assert_eq!(cns.list("/a/b"), vec!["f1", "f2"]);
+        assert_eq!(cns.list("/a"), vec!["b", "c"]);
+        assert_eq!(cns.list("/"), vec!["a", "top"]);
+        assert_eq!(cns.list("/nope"), Vec::<String>::new());
+        assert_eq!(cns.file_count(), 4);
+    }
+
+    #[test]
+    fn trailing_slash_tolerated() {
+        let cns = cns_with(&["/a/b/f1"]);
+        assert_eq!(cns.list("/a/b/"), vec!["f1"]);
+    }
+
+    #[test]
+    fn replicas_counted_per_path() {
+        let mut cns = CnsNode::new();
+        cns.record(true, "/d/f"); // replica on server A
+        cns.record(true, "/d/f"); // replica on server B
+        assert_eq!(cns.file_count(), 1);
+        cns.record(false, "/d/f");
+        assert_eq!(cns.list("/d"), vec!["f"], "one replica still exists");
+        cns.record(false, "/d/f");
+        assert!(cns.list("/d").is_empty(), "last replica gone");
+        assert_eq!(cns.file_count(), 0);
+    }
+
+    #[test]
+    fn directories_vanish_when_emptied() {
+        let mut cns = CnsNode::new();
+        cns.record(true, "/x/y/z/f");
+        assert_eq!(cns.list("/x"), vec!["y"]);
+        cns.record(false, "/x/y/z/f");
+        assert!(cns.list("/x").is_empty());
+        assert!(cns.list("/").is_empty());
+    }
+
+    #[test]
+    fn sibling_keeps_shared_ancestors() {
+        let mut cns = cns_with(&["/x/y/f1", "/x/z/f2"]);
+        cns.record(false, "/x/y/f1");
+        assert_eq!(cns.list("/x"), vec!["z"], "shared parent survives");
+    }
+
+    #[test]
+    fn delete_of_unknown_path_is_noop() {
+        let mut cns = cns_with(&["/a/f"]);
+        cns.record(false, "/ghost");
+        assert_eq!(cns.file_count(), 1);
+    }
+
+    #[test]
+    fn split_parent_cases() {
+        assert_eq!(split_parent("/a/b/c"), ("/a/b".into(), "c".into()));
+        assert_eq!(split_parent("/top"), ("/".into(), "top".into()));
+        assert_eq!(split_parent("bare"), ("/".into(), "bare".into()));
+    }
+}

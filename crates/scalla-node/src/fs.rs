@@ -1,0 +1,188 @@
+//! In-memory data store with Mass-Storage-System semantics.
+//!
+//! Each data server "uses the host's native file system to implement the
+//! data store" (§II-B4). We substitute an in-memory map (the paper's
+//! substrate is real disks; content is irrelevant to the location protocol,
+//! size and online-ness are not). A file can be *online* (servable now) or
+//! resident only in the MSS, in which case an access triggers staging that
+//! completes after a configurable delay — "typically on the order of
+//! minutes" (§III-B2).
+
+use bytes::Bytes;
+use std::collections::HashMap;
+
+/// One file's state on a data server.
+#[derive(Clone, Debug)]
+pub struct FileEntry {
+    /// Current contents (empty for MSS-resident files until staged).
+    pub data: Bytes,
+    /// Logical size in bytes (known even while offline, from the catalog).
+    pub size: u64,
+    /// Whether the file is servable right now.
+    pub online: bool,
+    /// Whether a staging operation is in flight.
+    pub staging: bool,
+}
+
+/// The per-server namespace: full POSIX semantics locally (§II-B4), modeled
+/// as a flat path → entry map plus capacity accounting.
+#[derive(Debug)]
+pub struct LocalFs {
+    files: HashMap<String, FileEntry>,
+    capacity: u64,
+    used: u64,
+}
+
+impl LocalFs {
+    /// Creates an empty store with `capacity` bytes of space.
+    pub fn new(capacity: u64) -> LocalFs {
+        LocalFs { files: HashMap::new(), capacity, used: 0 }
+    }
+
+    /// Free bytes (selection-policy input).
+    pub fn free_bytes(&self) -> u64 {
+        self.capacity.saturating_sub(self.used)
+    }
+
+    /// Number of files (online or not).
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Seeds an online file with `size` zero bytes of content.
+    pub fn put_online(&mut self, path: &str, size: u64) {
+        self.used += size;
+        self.files.insert(
+            path.to_string(),
+            FileEntry { data: Bytes::from(vec![0u8; size as usize]), size, online: true, staging: false },
+        );
+    }
+
+    /// Seeds an MSS-resident (offline) file: locatable, not yet servable.
+    pub fn put_offline(&mut self, path: &str, size: u64) {
+        self.files.insert(
+            path.to_string(),
+            FileEntry { data: Bytes::new(), size, online: false, staging: false },
+        );
+    }
+
+    /// Looks a file up.
+    pub fn get(&self, path: &str) -> Option<&FileEntry> {
+        self.files.get(path)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, path: &str) -> Option<&mut FileEntry> {
+        self.files.get_mut(path)
+    }
+
+    /// Creates an empty writable file (open-for-create).
+    pub fn create(&mut self, path: &str) -> &mut FileEntry {
+        self.files.entry(path.to_string()).or_insert(FileEntry {
+            data: Bytes::new(),
+            size: 0,
+            online: true,
+            staging: false,
+        })
+    }
+
+    /// Deletes a file, returning whether it existed. Used to exercise the
+    /// stale-redirect / refresh recovery path (§III-C1).
+    pub fn remove(&mut self, path: &str) -> bool {
+        if let Some(e) = self.files.remove(path) {
+            self.used = self.used.saturating_sub(e.size);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Marks a staged file online (staging completed).
+    pub fn complete_staging(&mut self, path: &str) -> bool {
+        if let Some(e) = self.files.get_mut(path) {
+            if !e.online {
+                e.data = Bytes::from(vec![0u8; e.size as usize]);
+                e.online = true;
+                e.staging = false;
+                self.used += e.size;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Reads up to `len` bytes at `offset` from an online file.
+    pub fn read(&self, path: &str, offset: u64, len: u32) -> Option<Bytes> {
+        let e = self.files.get(path)?;
+        if !e.online {
+            return None;
+        }
+        let start = (offset as usize).min(e.data.len());
+        let end = (start + len as usize).min(e.data.len());
+        Some(e.data.slice(start..end))
+    }
+
+    /// Writes `data` at `offset` of an online file, extending it as needed.
+    pub fn write(&mut self, path: &str, offset: u64, data: &[u8]) -> Option<u32> {
+        let e = self.files.get_mut(path)?;
+        if !e.online {
+            return None;
+        }
+        let mut buf = e.data.to_vec();
+        let end = offset as usize + data.len();
+        if end > buf.len() {
+            self.used += (end - buf.len()) as u64;
+            buf.resize(end, 0);
+        }
+        buf[offset as usize..end].copy_from_slice(data);
+        e.size = buf.len() as u64;
+        e.data = Bytes::from(buf);
+        Some(data.len() as u32)
+    }
+
+    /// Iterates all paths (diagnostics; a real cluster-wide `ls` is
+    /// deliberately absent from Scalla, §II-B4).
+    pub fn paths(&self) -> impl Iterator<Item = &str> {
+        self.files.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_read_write() {
+        let mut fs = LocalFs::new(1 << 20);
+        fs.put_online("/f", 10);
+        assert_eq!(fs.read("/f", 0, 4).unwrap().len(), 4);
+        assert_eq!(fs.read("/f", 8, 10).unwrap().len(), 2, "clamped at EOF");
+        assert_eq!(fs.write("/f", 5, b"abcdefgh"), Some(8));
+        assert_eq!(fs.get("/f").unwrap().size, 13, "write extends file");
+        assert_eq!(&fs.read("/f", 5, 8).unwrap()[..], b"abcdefgh");
+    }
+
+    #[test]
+    fn offline_files_locatable_not_servable() {
+        let mut fs = LocalFs::new(1 << 20);
+        fs.put_offline("/mss/f", 100);
+        assert!(fs.get("/mss/f").is_some());
+        assert!(fs.read("/mss/f", 0, 10).is_none());
+        assert!(fs.complete_staging("/mss/f"));
+        assert_eq!(fs.read("/mss/f", 0, 10).unwrap().len(), 10);
+        assert!(!fs.complete_staging("/mss/f"), "already online");
+    }
+
+    #[test]
+    fn create_and_remove_track_space() {
+        let mut fs = LocalFs::new(1000);
+        fs.put_online("/a", 600);
+        assert_eq!(fs.free_bytes(), 400);
+        assert!(fs.remove("/a"));
+        assert_eq!(fs.free_bytes(), 1000);
+        assert!(!fs.remove("/a"));
+        fs.create("/b");
+        assert_eq!(fs.get("/b").unwrap().size, 0);
+        assert_eq!(fs.file_count(), 1);
+    }
+}

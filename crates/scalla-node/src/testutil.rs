@@ -1,0 +1,37 @@
+//! Test-only mock of [`NetCtx`](scalla_simnet::NetCtx) capturing effects.
+
+use scalla_proto::{Addr, Msg};
+use scalla_simnet::NetCtx;
+use scalla_util::Nanos;
+
+/// Minimal NetCtx capturing effects for direct state-machine tests.
+pub struct MockCtx {
+    pub now: Nanos,
+    pub me: Addr,
+    pub sends: Vec<(Addr, Msg)>,
+    pub timers: Vec<(Nanos, u64)>,
+}
+
+impl MockCtx {
+    pub fn new() -> MockCtx {
+        MockCtx { now: Nanos::ZERO, me: Addr(100), sends: Vec::new(), timers: Vec::new() }
+    }
+}
+
+impl NetCtx for MockCtx {
+    fn now(&self) -> Nanos {
+        self.now
+    }
+    fn me(&self) -> Addr {
+        self.me
+    }
+    fn send(&mut self, to: Addr, msg: Msg) {
+        self.sends.push((to, msg));
+    }
+    fn set_timer(&mut self, delay: Nanos, token: u64) {
+        self.timers.push((delay, token));
+    }
+    fn rand_u64(&mut self) -> u64 {
+        4 // deterministic
+    }
+}

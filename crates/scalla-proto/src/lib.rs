@@ -1,0 +1,22 @@
+//! Protocol messages for the Scalla reproduction.
+//!
+//! Three message families flow through a Scalla cluster (§II-B):
+//!
+//! * [`ClientMsg`] — client → xrootd: open / read / write / close / stat /
+//!   prepare requests;
+//! * [`ServerMsg`] — xrootd → client: redirects, waits, data, and errors;
+//! * [`CmsMsg`] — cmsd ↔ cmsd: login, the request-rarely-respond locate
+//!   query, positive `Have` responses, and load reports.
+//!
+//! The defining protocol property (§III-B) is that [`CmsMsg::Locate`] has
+//! *no negative response*: a server that does not have the file stays
+//! silent, and silence past the deadline is the negative answer.
+//!
+//! [`wire`] provides a compact hand-rolled binary codec so messages can
+//! cross real sockets; the in-process runtimes pass the enums directly.
+
+pub mod msg;
+pub mod wire;
+
+pub use msg::{Addr, ClientMsg, CmsMsg, ErrCode, Msg, NodeRoleTag, ServerMsg, NO_CLIENT};
+pub use wire::{decode_msg, encode_frame, encode_msg, FrameDecoder, WireError};

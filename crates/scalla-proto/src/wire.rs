@@ -1,0 +1,658 @@
+//! Compact binary wire codec.
+//!
+//! A small hand-rolled format: one tag byte per enum variant, little-endian
+//! fixed-width integers, and u32-length-prefixed strings/byte blobs. It is
+//! deliberately free of reflection and allocation beyond the payloads
+//! themselves — the cmsd hot path encodes a `Locate`/`Have` in a handful of
+//! stores.
+//!
+//! The in-process runtimes bypass this codec (they move the enums); it
+//! exists so the protocol can cross real sockets and so the message set has
+//! an explicit, tested serialized form.
+
+use crate::msg::{ClientMsg, CmsMsg, ErrCode, Msg, NodeRoleTag, ServerMsg};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the message did.
+    Truncated,
+    /// Unknown tag byte for the given position.
+    BadTag(u8),
+    /// A string field held invalid UTF-8.
+    BadUtf8,
+    /// A declared length exceeded sanity limits.
+    BadLength(u64),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "message truncated"),
+            WireError::BadTag(t) => write!(f, "unknown tag byte {t:#x}"),
+            WireError::BadUtf8 => write!(f, "invalid UTF-8 in string field"),
+            WireError::BadLength(n) => write!(f, "implausible length {n}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Upper bound on any length-prefixed field (paths, payloads): 64 MiB.
+const MAX_FIELD: u64 = 64 << 20;
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn put_bytes(buf: &mut BytesMut, b: &Bytes) {
+    buf.put_u32_le(b.len() as u32);
+    buf.put_slice(b);
+}
+
+fn put_opt_str(buf: &mut BytesMut, s: &Option<String>) {
+    match s {
+        None => buf.put_u8(0),
+        Some(s) => {
+            buf.put_u8(1);
+            put_str(buf, s);
+        }
+    }
+}
+
+fn put_strs(buf: &mut BytesMut, v: &[String]) {
+    buf.put_u32_le(v.len() as u32);
+    for s in v {
+        put_str(buf, s);
+    }
+}
+
+fn need(buf: &impl Buf, n: usize) -> Result<(), WireError> {
+    if buf.remaining() < n {
+        Err(WireError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+fn get_u8(buf: &mut impl Buf) -> Result<u8, WireError> {
+    need(buf, 1)?;
+    Ok(buf.get_u8())
+}
+
+fn get_u32(buf: &mut impl Buf) -> Result<u32, WireError> {
+    need(buf, 4)?;
+    Ok(buf.get_u32_le())
+}
+
+fn get_u64(buf: &mut impl Buf) -> Result<u64, WireError> {
+    need(buf, 8)?;
+    Ok(buf.get_u64_le())
+}
+
+fn get_len(buf: &mut impl Buf) -> Result<usize, WireError> {
+    let n = get_u32(buf)? as u64;
+    if n > MAX_FIELD {
+        return Err(WireError::BadLength(n));
+    }
+    Ok(n as usize)
+}
+
+fn get_str(buf: &mut impl Buf) -> Result<String, WireError> {
+    let n = get_len(buf)?;
+    need(buf, n)?;
+    let mut v = vec![0u8; n];
+    buf.copy_to_slice(&mut v);
+    String::from_utf8(v).map_err(|_| WireError::BadUtf8)
+}
+
+fn get_bytes(buf: &mut impl Buf) -> Result<Bytes, WireError> {
+    let n = get_len(buf)?;
+    need(buf, n)?;
+    Ok(buf.copy_to_bytes(n))
+}
+
+fn get_opt_str(buf: &mut impl Buf) -> Result<Option<String>, WireError> {
+    match get_u8(buf)? {
+        0 => Ok(None),
+        1 => Ok(Some(get_str(buf)?)),
+        t => Err(WireError::BadTag(t)),
+    }
+}
+
+fn get_strs(buf: &mut impl Buf) -> Result<Vec<String>, WireError> {
+    let n = get_len(buf)?;
+    let mut v = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        v.push(get_str(buf)?);
+    }
+    Ok(v)
+}
+
+fn get_bool(buf: &mut impl Buf) -> Result<bool, WireError> {
+    Ok(get_u8(buf)? != 0)
+}
+
+/// Encodes a message, appending to `buf`.
+///
+/// ```
+/// use bytes::BytesMut;
+/// use scalla_proto::{decode_msg, encode_msg, CmsMsg, Msg};
+///
+/// let msg: Msg = CmsMsg::Locate { reqid: 7, path: "/f".into(), hash: 9, write: false }.into();
+/// let mut buf = BytesMut::new();
+/// encode_msg(&msg, &mut buf);
+/// let mut bytes = buf.freeze();
+/// assert_eq!(decode_msg(&mut bytes).unwrap(), msg);
+/// ```
+pub fn encode_msg(msg: &Msg, buf: &mut BytesMut) {
+    match msg {
+        Msg::Client(m) => {
+            buf.put_u8(0x10);
+            encode_client(m, buf);
+        }
+        Msg::Server(m) => {
+            buf.put_u8(0x20);
+            encode_server(m, buf);
+        }
+        Msg::Cms(m) => {
+            buf.put_u8(0x30);
+            encode_cms(m, buf);
+        }
+    }
+}
+
+fn encode_client(m: &ClientMsg, buf: &mut BytesMut) {
+    match m {
+        ClientMsg::Open { path, write, refresh, avoid } => {
+            buf.put_u8(0);
+            put_str(buf, path);
+            buf.put_u8(*write as u8);
+            buf.put_u8(*refresh as u8);
+            put_opt_str(buf, avoid);
+        }
+        ClientMsg::Read { handle, offset, len } => {
+            buf.put_u8(1);
+            buf.put_u64_le(*handle);
+            buf.put_u64_le(*offset);
+            buf.put_u32_le(*len);
+        }
+        ClientMsg::Write { handle, offset, data } => {
+            buf.put_u8(2);
+            buf.put_u64_le(*handle);
+            buf.put_u64_le(*offset);
+            put_bytes(buf, data);
+        }
+        ClientMsg::Close { handle } => {
+            buf.put_u8(3);
+            buf.put_u64_le(*handle);
+        }
+        ClientMsg::Stat { path } => {
+            buf.put_u8(4);
+            put_str(buf, path);
+        }
+        ClientMsg::Prepare { paths } => {
+            buf.put_u8(5);
+            put_strs(buf, paths);
+        }
+        ClientMsg::List { dir } => {
+            buf.put_u8(6);
+            put_str(buf, dir);
+        }
+    }
+}
+
+fn encode_server(m: &ServerMsg, buf: &mut BytesMut) {
+    match m {
+        ServerMsg::Redirect { host } => {
+            buf.put_u8(0);
+            put_str(buf, host);
+        }
+        ServerMsg::Wait { millis } => {
+            buf.put_u8(1);
+            buf.put_u64_le(*millis);
+        }
+        ServerMsg::OpenOk { handle } => {
+            buf.put_u8(2);
+            buf.put_u64_le(*handle);
+        }
+        ServerMsg::Data { data } => {
+            buf.put_u8(3);
+            put_bytes(buf, data);
+        }
+        ServerMsg::WriteOk { len } => {
+            buf.put_u8(4);
+            buf.put_u32_le(*len);
+        }
+        ServerMsg::CloseOk => buf.put_u8(5),
+        ServerMsg::StatOk { size, online } => {
+            buf.put_u8(6);
+            buf.put_u64_le(*size);
+            buf.put_u8(*online as u8);
+        }
+        ServerMsg::PrepareOk => buf.put_u8(7),
+        ServerMsg::ListOk { entries } => {
+            buf.put_u8(9);
+            put_strs(buf, entries);
+        }
+        ServerMsg::Error { code, detail } => {
+            buf.put_u8(8);
+            buf.put_u8(*code as u8);
+            put_str(buf, detail);
+        }
+    }
+}
+
+fn encode_cms(m: &CmsMsg, buf: &mut BytesMut) {
+    match m {
+        CmsMsg::Login { name, role, exports } => {
+            buf.put_u8(0);
+            put_str(buf, name);
+            buf.put_u8(match role {
+                NodeRoleTag::Supervisor => 0,
+                NodeRoleTag::Server => 1,
+            });
+            put_strs(buf, exports);
+        }
+        CmsMsg::LoginOk { slot } => {
+            buf.put_u8(1);
+            buf.put_u8(*slot);
+        }
+        CmsMsg::LoginRejected { reason } => {
+            buf.put_u8(2);
+            put_str(buf, reason);
+        }
+        CmsMsg::Locate { reqid, path, hash, write } => {
+            buf.put_u8(3);
+            buf.put_u64_le(*reqid);
+            put_str(buf, path);
+            buf.put_u32_le(*hash);
+            buf.put_u8(*write as u8);
+        }
+        CmsMsg::Have { reqid, path, hash, staging } => {
+            buf.put_u8(4);
+            buf.put_u64_le(*reqid);
+            put_str(buf, path);
+            buf.put_u32_le(*hash);
+            buf.put_u8(*staging as u8);
+        }
+        CmsMsg::Manifest { name, files } => {
+            buf.put_u8(6);
+            put_str(buf, name);
+            put_strs(buf, files);
+        }
+        CmsMsg::NsEvent { created, path } => {
+            buf.put_u8(7);
+            buf.put_u8(*created as u8);
+            put_str(buf, path);
+        }
+        CmsMsg::LoadReport { load, free_bytes } => {
+            buf.put_u8(5);
+            buf.put_u32_le(*load);
+            buf.put_u64_le(*free_bytes);
+        }
+    }
+}
+
+/// Decodes one message from `buf`, consuming exactly its bytes.
+pub fn decode_msg(buf: &mut impl Buf) -> Result<Msg, WireError> {
+    match get_u8(buf)? {
+        0x10 => decode_client(buf).map(Msg::Client),
+        0x20 => decode_server(buf).map(Msg::Server),
+        0x30 => decode_cms(buf).map(Msg::Cms),
+        t => Err(WireError::BadTag(t)),
+    }
+}
+
+fn decode_client(buf: &mut impl Buf) -> Result<ClientMsg, WireError> {
+    Ok(match get_u8(buf)? {
+        0 => ClientMsg::Open {
+            path: get_str(buf)?,
+            write: get_bool(buf)?,
+            refresh: get_bool(buf)?,
+            avoid: get_opt_str(buf)?,
+        },
+        1 => ClientMsg::Read {
+            handle: get_u64(buf)?,
+            offset: get_u64(buf)?,
+            len: get_u32(buf)?,
+        },
+        2 => ClientMsg::Write {
+            handle: get_u64(buf)?,
+            offset: get_u64(buf)?,
+            data: get_bytes(buf)?,
+        },
+        3 => ClientMsg::Close { handle: get_u64(buf)? },
+        4 => ClientMsg::Stat { path: get_str(buf)? },
+        5 => ClientMsg::Prepare { paths: get_strs(buf)? },
+        6 => ClientMsg::List { dir: get_str(buf)? },
+        t => return Err(WireError::BadTag(t)),
+    })
+}
+
+fn decode_server(buf: &mut impl Buf) -> Result<ServerMsg, WireError> {
+    Ok(match get_u8(buf)? {
+        0 => ServerMsg::Redirect { host: get_str(buf)? },
+        1 => ServerMsg::Wait { millis: get_u64(buf)? },
+        2 => ServerMsg::OpenOk { handle: get_u64(buf)? },
+        3 => ServerMsg::Data { data: get_bytes(buf)? },
+        4 => ServerMsg::WriteOk { len: get_u32(buf)? },
+        5 => ServerMsg::CloseOk,
+        6 => ServerMsg::StatOk { size: get_u64(buf)?, online: get_bool(buf)? },
+        7 => ServerMsg::PrepareOk,
+        9 => ServerMsg::ListOk { entries: get_strs(buf)? },
+        8 => ServerMsg::Error {
+            code: match get_u8(buf)? {
+                0 => ErrCode::NotFound,
+                1 => ErrCode::NoEligibleServer,
+                2 => ErrCode::BadRequest,
+                3 => ErrCode::IoError,
+                4 => ErrCode::Retry,
+                t => return Err(WireError::BadTag(t)),
+            },
+            detail: get_str(buf)?,
+        },
+        t => return Err(WireError::BadTag(t)),
+    })
+}
+
+fn decode_cms(buf: &mut impl Buf) -> Result<CmsMsg, WireError> {
+    Ok(match get_u8(buf)? {
+        0 => CmsMsg::Login {
+            name: get_str(buf)?,
+            role: match get_u8(buf)? {
+                0 => NodeRoleTag::Supervisor,
+                1 => NodeRoleTag::Server,
+                t => return Err(WireError::BadTag(t)),
+            },
+            exports: get_strs(buf)?,
+        },
+        1 => CmsMsg::LoginOk { slot: get_u8(buf)? },
+        2 => CmsMsg::LoginRejected { reason: get_str(buf)? },
+        3 => CmsMsg::Locate {
+            reqid: get_u64(buf)?,
+            path: get_str(buf)?,
+            hash: get_u32(buf)?,
+            write: get_bool(buf)?,
+        },
+        4 => CmsMsg::Have {
+            reqid: get_u64(buf)?,
+            path: get_str(buf)?,
+            hash: get_u32(buf)?,
+            staging: get_bool(buf)?,
+        },
+        5 => CmsMsg::LoadReport { load: get_u32(buf)?, free_bytes: get_u64(buf)? },
+        6 => CmsMsg::Manifest { name: get_str(buf)?, files: get_strs(buf)? },
+        7 => CmsMsg::NsEvent { created: get_bool(buf)?, path: get_str(buf)? },
+        t => return Err(WireError::BadTag(t)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(msg: Msg) {
+        let mut buf = BytesMut::new();
+        encode_msg(&msg, &mut buf);
+        let mut slice = buf.freeze();
+        let decoded = decode_msg(&mut slice).expect("decode");
+        assert_eq!(decoded, msg);
+        assert_eq!(slice.remaining(), 0, "codec must consume exactly its bytes");
+    }
+
+    #[test]
+    fn roundtrip_all_variants() {
+        let cases: Vec<Msg> = vec![
+            ClientMsg::Open {
+                path: "/store/f.root".into(),
+                write: true,
+                refresh: false,
+                avoid: Some("srv-3".into()),
+            }
+            .into(),
+            ClientMsg::Open { path: "/f".into(), write: false, refresh: true, avoid: None }.into(),
+            ClientMsg::Read { handle: 9, offset: 4096, len: 65536 }.into(),
+            ClientMsg::Write { handle: 9, offset: 0, data: Bytes::from_static(b"hello") }.into(),
+            ClientMsg::Close { handle: 9 }.into(),
+            ClientMsg::Stat { path: "/f".into() }.into(),
+            ClientMsg::Prepare { paths: vec!["/a".into(), "/b".into()] }.into(),
+            ServerMsg::Redirect { host: "sup-1".into() }.into(),
+            ServerMsg::Wait { millis: 5000 }.into(),
+            ServerMsg::OpenOk { handle: 77 }.into(),
+            ServerMsg::Data { data: Bytes::from_static(&[0, 1, 2, 255]) }.into(),
+            ServerMsg::WriteOk { len: 5 }.into(),
+            ServerMsg::CloseOk.into(),
+            ServerMsg::StatOk { size: 1 << 33, online: false }.into(),
+            ServerMsg::PrepareOk.into(),
+            ServerMsg::Error { code: ErrCode::NotFound, detail: "no such file".into() }.into(),
+            CmsMsg::Login {
+                name: "srv-a".into(),
+                role: NodeRoleTag::Server,
+                exports: vec!["/atlas".into(), "/cms".into()],
+            }
+            .into(),
+            CmsMsg::LoginOk { slot: 63 }.into(),
+            CmsMsg::LoginRejected { reason: "full".into() }.into(),
+            CmsMsg::Locate { reqid: 1, path: "/f".into(), hash: 0xDEAD_BEEF, write: false }.into(),
+            CmsMsg::Have { reqid: 1, path: "/f".into(), hash: 0xDEAD_BEEF, staging: true }.into(),
+            CmsMsg::LoadReport { load: 12, free_bytes: u64::MAX }.into(),
+            CmsMsg::Manifest { name: "srv-b".into(), files: vec!["/a/1".into(), "/a/2".into()] }
+                .into(),
+            ClientMsg::List { dir: "/store/run1".into() }.into(),
+            ServerMsg::ListOk { entries: vec!["f1.root".into(), "f2.root".into()] }.into(),
+            CmsMsg::NsEvent { created: true, path: "/store/run1/f3.root".into() }.into(),
+        ];
+        for msg in cases {
+            roundtrip(msg);
+        }
+    }
+
+    #[test]
+    fn truncated_inputs_error_not_panic() {
+        let msg: Msg = CmsMsg::Locate {
+            reqid: 42,
+            path: "/some/long/path".into(),
+            hash: 7,
+            write: true,
+        }
+        .into();
+        let mut buf = BytesMut::new();
+        encode_msg(&msg, &mut buf);
+        let full = buf.freeze();
+        for cut in 0..full.len() {
+            let mut partial = full.slice(..cut);
+            assert!(decode_msg(&mut partial).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn unknown_tags_rejected() {
+        let mut b = Bytes::from_static(&[0x99]);
+        assert_eq!(decode_msg(&mut b), Err(WireError::BadTag(0x99)));
+        let mut b = Bytes::from_static(&[0x10, 0xEE]);
+        assert_eq!(decode_msg(&mut b), Err(WireError::BadTag(0xEE)));
+    }
+
+    #[test]
+    fn implausible_length_rejected() {
+        // Client Stat with a 4 GiB path length.
+        let mut buf = BytesMut::new();
+        buf.put_u8(0x10);
+        buf.put_u8(4);
+        buf.put_u32_le(u32::MAX);
+        let mut b = buf.freeze();
+        assert!(matches!(decode_msg(&mut b), Err(WireError::BadLength(_))));
+    }
+
+    proptest! {
+        #[test]
+        fn locate_roundtrips(reqid: u64, path in "[ -~]{0,64}", hash: u32, write: bool) {
+            roundtrip(CmsMsg::Locate { reqid, path, hash, write }.into());
+        }
+
+        #[test]
+        fn write_roundtrips(handle: u64, offset: u64, data in proptest::collection::vec(any::<u8>(), 0..256)) {
+            roundtrip(ClientMsg::Write { handle, offset, data: Bytes::from(data) }.into());
+        }
+
+        #[test]
+        fn random_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let mut b = Bytes::from(data);
+            let _ = decode_msg(&mut b); // may error, must not panic
+        }
+    }
+}
+
+/// Maximum frame payload: a message plus framing must fit in 64 MiB + slack.
+const MAX_FRAME: u32 = (MAX_FIELD as u32) + 1024;
+
+/// Appends `msg` as a length-prefixed frame (`u32` little-endian length,
+/// then the encoded message) — the stream form for real sockets.
+pub fn encode_frame(msg: &Msg, buf: &mut BytesMut) {
+    let at = buf.len();
+    buf.put_u32_le(0); // placeholder
+    encode_msg(msg, buf);
+    let len = (buf.len() - at - 4) as u32;
+    buf[at..at + 4].copy_from_slice(&len.to_le_bytes());
+}
+
+/// Incremental frame decoder for a byte stream: feed bytes, drain messages.
+///
+/// Tolerates arbitrary fragmentation (TCP segment boundaries never align
+/// with frames) and rejects oversized or malformed frames with an error
+/// rather than unbounded buffering.
+#[derive(Default)]
+pub struct FrameDecoder {
+    buf: BytesMut,
+}
+
+impl FrameDecoder {
+    /// Creates an empty decoder.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Appends received bytes.
+    pub fn feed(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Bytes currently buffered (diagnostics).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Extracts the next complete message, if one is buffered.
+    ///
+    /// `Ok(None)` means "need more bytes"; errors are fatal for the stream
+    /// (the peer is speaking garbage). Named `next` for familiarity even
+    /// though the fallible signature differs from `Iterator::next`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<Msg>, WireError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[..4].try_into().expect("4 bytes checked"));
+        if len > MAX_FRAME {
+            return Err(WireError::BadLength(u64::from(len)));
+        }
+        let total = 4 + len as usize;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let mut frame = self.buf.split_to(total).freeze();
+        frame.advance(4);
+        let msg = decode_msg(&mut frame)?;
+        if frame.remaining() != 0 {
+            return Err(WireError::BadLength(u64::from(len)));
+        }
+        Ok(Some(msg))
+    }
+}
+
+#[cfg(test)]
+mod frame_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_msgs() -> Vec<Msg> {
+        vec![
+            ClientMsg::Open { path: "/a/b".into(), write: false, refresh: false, avoid: None }
+                .into(),
+            ServerMsg::Redirect { host: "sup-7".into() }.into(),
+            CmsMsg::Have { reqid: 3, path: "/a/b".into(), hash: 99, staging: false }.into(),
+            ServerMsg::Data { data: Bytes::from(vec![1u8; 1000]) }.into(),
+            ClientMsg::List { dir: "/a".into() }.into(),
+        ]
+    }
+
+    #[test]
+    fn stream_roundtrip_single_feed() {
+        let msgs = sample_msgs();
+        let mut buf = BytesMut::new();
+        for m in &msgs {
+            encode_frame(m, &mut buf);
+        }
+        let mut dec = FrameDecoder::new();
+        dec.feed(&buf);
+        let mut out = Vec::new();
+        while let Some(m) = dec.next().unwrap() {
+            out.push(m);
+        }
+        assert_eq!(out, msgs);
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&u32::MAX.to_le_bytes());
+        assert!(matches!(dec.next(), Err(WireError::BadLength(_))));
+    }
+
+    #[test]
+    fn trailing_garbage_in_frame_rejected() {
+        // Valid CloseOk message plus one stray byte inside the frame.
+        let mut inner = BytesMut::new();
+        encode_msg(&ServerMsg::CloseOk.into(), &mut inner);
+        inner.put_u8(0xFF);
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(inner.len() as u32);
+        buf.extend_from_slice(&inner);
+        let mut dec = FrameDecoder::new();
+        dec.feed(&buf);
+        assert!(dec.next().is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_fragmentation_preserves_stream(
+            chunk_sizes in proptest::collection::vec(1usize..64, 1..64),
+        ) {
+            let msgs = sample_msgs();
+            let mut wire = BytesMut::new();
+            for m in &msgs {
+                encode_frame(m, &mut wire);
+            }
+            let wire = wire.freeze();
+            let mut dec = FrameDecoder::new();
+            let mut out = Vec::new();
+            let mut pos = 0usize;
+            let mut chunks = chunk_sizes.iter().cycle();
+            while pos < wire.len() {
+                let n = (*chunks.next().unwrap()).min(wire.len() - pos);
+                dec.feed(&wire[pos..pos + n]);
+                pos += n;
+                while let Some(m) = dec.next().unwrap() {
+                    out.push(m);
+                }
+            }
+            prop_assert_eq!(out, msgs);
+            prop_assert_eq!(dec.buffered(), 0);
+        }
+    }
+}

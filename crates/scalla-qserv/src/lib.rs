@@ -1,0 +1,36 @@
+//! Qserv-style distributed dispatch over Scalla (§IV-B).
+//!
+//! LSST's prototype query system re-used Scalla "as a distributed
+//! communications layer": workers publish paths that include a partition
+//! number; "when a master opens a path for a particular partition number,
+//! Scalla guarantees that it has a communications channel to a worker
+//! hosting that particular partition"; masters "communicate with workers by
+//! opening, reading, writing, and closing files in Scalla".
+//!
+//! This crate reproduces that pattern:
+//!
+//! * [`chunk`] — the partitioned astronomical catalog (the MySQL substrate
+//!   of real Qserv is substituted by an in-memory scan engine sufficient to
+//!   exercise the dispatch path; DESIGN.md documents the substitution).
+//! * [`query`] — a tiny query language (count / mean / brightest within a
+//!   magnitude range) with a text wire form, executed per chunk.
+//! * [`worker`] — [`QservWorkerNode`], a Scalla data server that exports
+//!   `/chunk/<partition>` prefixes and *executes* any task file written
+//!   under them, materializing a result file next to it.
+//! * [`master`] — script builders for the master side: scatter a query to
+//!   every partition by writing task files through Scalla, gather by
+//!   reading result files, and decode.
+//!
+//! "In Qserv's current implementation, there is no configuration for the
+//! number of nodes in the cluster" — likewise here: the master only names
+//! partitions; Scalla finds the workers.
+
+pub mod chunk;
+pub mod master;
+pub mod query;
+pub mod worker;
+
+pub use chunk::{ChunkStore, ObjRow};
+pub use master::{gather_results, scatter_script, task_path, result_path, QservMasterNode};
+pub use query::{Query, QueryResult};
+pub use worker::QservWorkerNode;

@@ -1,0 +1,296 @@
+//! The per-chunk query language and its text wire form.
+//!
+//! Qserv supports "quick retrieval (retrieve all facts for a single
+//! object)" and "longer analysis (… summaries over all records)". The
+//! miniature language here covers both shapes: point look-up by object id,
+//! aggregate count/mean over a magnitude range, and a top-N scan. Queries
+//! and results travel as file contents, so both have a line-oriented text
+//! encoding with full round-trip tests.
+
+use crate::chunk::{ChunkStore, ObjRow};
+
+/// A query executed independently on each chunk.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Query {
+    /// Count objects with magnitude in `[lo, hi)`.
+    CountRange {
+        /// Lower magnitude bound (inclusive).
+        lo: f64,
+        /// Upper magnitude bound (exclusive).
+        hi: f64,
+    },
+    /// Mean magnitude over objects in `[lo, hi)`.
+    MeanMag {
+        /// Lower magnitude bound (inclusive).
+        lo: f64,
+        /// Upper magnitude bound (exclusive).
+        hi: f64,
+    },
+    /// The `n` brightest objects in the chunk.
+    Brightest {
+        /// How many objects to return.
+        n: u32,
+    },
+    /// All facts for a single object id (quick retrieval).
+    Object {
+        /// The object id.
+        id: u64,
+    },
+}
+
+/// The per-chunk answer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryResult {
+    /// A count.
+    Count(u64),
+    /// A mean over some number of rows (count kept for re-aggregation).
+    Mean {
+        /// Row count the mean covers.
+        count: u64,
+        /// The mean magnitude (0 when count is 0).
+        mean: f64,
+    },
+    /// Selected rows.
+    Rows(Vec<ObjRow>),
+}
+
+impl Query {
+    /// Executes against one chunk.
+    pub fn execute(&self, chunk: &ChunkStore) -> QueryResult {
+        match *self {
+            Query::CountRange { lo, hi } => {
+                QueryResult::Count(chunk.scan_mag(lo, hi).count() as u64)
+            }
+            Query::MeanMag { lo, hi } => {
+                let mut n = 0u64;
+                let mut sum = 0.0;
+                for r in chunk.scan_mag(lo, hi) {
+                    n += 1;
+                    sum += r.mag;
+                }
+                QueryResult::Mean { count: n, mean: if n == 0 { 0.0 } else { sum / n as f64 } }
+            }
+            Query::Brightest { n } => QueryResult::Rows(chunk.brightest(n as usize)),
+            Query::Object { id } => QueryResult::Rows(
+                chunk.rows().iter().copied().filter(|r| r.id == id).collect(),
+            ),
+        }
+    }
+
+    /// Text wire form (one line).
+    pub fn encode(&self) -> String {
+        match *self {
+            Query::CountRange { lo, hi } => format!("count {lo} {hi}"),
+            Query::MeanMag { lo, hi } => format!("mean {lo} {hi}"),
+            Query::Brightest { n } => format!("brightest {n}"),
+            Query::Object { id } => format!("object {id}"),
+        }
+    }
+
+    /// Parses the wire form.
+    pub fn decode(s: &str) -> Option<Query> {
+        let mut it = s.split_whitespace();
+        match it.next()? {
+            "count" => Some(Query::CountRange {
+                lo: it.next()?.parse().ok()?,
+                hi: it.next()?.parse().ok()?,
+            }),
+            "mean" => Some(Query::MeanMag {
+                lo: it.next()?.parse().ok()?,
+                hi: it.next()?.parse().ok()?,
+            }),
+            "brightest" => Some(Query::Brightest { n: it.next()?.parse().ok()? }),
+            "object" => Some(Query::Object { id: it.next()?.parse().ok()? }),
+            _ => None,
+        }
+    }
+}
+
+impl QueryResult {
+    /// Text wire form (line-oriented).
+    pub fn encode(&self) -> String {
+        match self {
+            QueryResult::Count(n) => format!("count {n}"),
+            QueryResult::Mean { count, mean } => format!("mean {count} {mean}"),
+            QueryResult::Rows(rows) => {
+                let mut out = format!("rows {}", rows.len());
+                for r in rows {
+                    out.push_str(&format!("\n{} {} {} {}", r.id, r.ra, r.dec, r.mag));
+                }
+                out
+            }
+        }
+    }
+
+    /// Parses the wire form.
+    pub fn decode(s: &str) -> Option<QueryResult> {
+        let mut lines = s.lines();
+        let head = lines.next()?;
+        let mut it = head.split_whitespace();
+        match it.next()? {
+            "count" => Some(QueryResult::Count(it.next()?.parse().ok()?)),
+            "mean" => Some(QueryResult::Mean {
+                count: it.next()?.parse().ok()?,
+                mean: it.next()?.parse().ok()?,
+            }),
+            "rows" => {
+                let n: usize = it.next()?.parse().ok()?;
+                let mut rows = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let line = lines.next()?;
+                    let mut f = line.split_whitespace();
+                    rows.push(ObjRow {
+                        id: f.next()?.parse().ok()?,
+                        ra: f.next()?.parse().ok()?,
+                        dec: f.next()?.parse().ok()?,
+                        mag: f.next()?.parse().ok()?,
+                    });
+                }
+                Some(QueryResult::Rows(rows))
+            }
+            _ => None,
+        }
+    }
+
+    /// Merges per-chunk results into a global answer (the master's gather
+    /// step). All inputs must be the same variant.
+    pub fn merge(results: &[QueryResult]) -> Option<QueryResult> {
+        let first = results.first()?;
+        match first {
+            QueryResult::Count(_) => {
+                let mut total = 0u64;
+                for r in results {
+                    let QueryResult::Count(n) = r else { return None };
+                    total += n;
+                }
+                Some(QueryResult::Count(total))
+            }
+            QueryResult::Mean { .. } => {
+                let (mut n, mut sum) = (0u64, 0.0f64);
+                for r in results {
+                    let QueryResult::Mean { count, mean } = r else { return None };
+                    n += count;
+                    sum += mean * (*count as f64);
+                }
+                Some(QueryResult::Mean {
+                    count: n,
+                    mean: if n == 0 { 0.0 } else { sum / n as f64 },
+                })
+            }
+            QueryResult::Rows(_) => {
+                let mut all = Vec::new();
+                for r in results {
+                    let QueryResult::Rows(rows) = r else { return None };
+                    all.extend(rows.iter().copied());
+                }
+                all.sort_by(|a, b| a.mag.total_cmp(&b.mag));
+                Some(QueryResult::Rows(all))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn execute_count_and_mean_agree() {
+        let chunk = ChunkStore::generate(0, 500, 3);
+        let q = Query::CountRange { lo: 15.0, hi: 20.0 };
+        let QueryResult::Count(n) = q.execute(&chunk) else { panic!() };
+        let QueryResult::Mean { count, mean } =
+            Query::MeanMag { lo: 15.0, hi: 20.0 }.execute(&chunk)
+        else {
+            panic!()
+        };
+        assert_eq!(n, count);
+        assert!((15.0..20.0).contains(&mean));
+    }
+
+    #[test]
+    fn object_lookup_finds_exactly_one() {
+        let chunk = ChunkStore::generate(2, 100, 3);
+        let id = chunk.rows()[37].id;
+        let QueryResult::Rows(rows) = Query::Object { id }.execute(&chunk) else { panic!() };
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].id, id);
+    }
+
+    #[test]
+    fn query_text_roundtrip() {
+        for q in [
+            Query::CountRange { lo: 15.5, hi: 17.25 },
+            Query::MeanMag { lo: 14.0, hi: 26.0 },
+            Query::Brightest { n: 12 },
+            Query::Object { id: 0xABCDEF },
+        ] {
+            assert_eq!(Query::decode(&q.encode()), Some(q));
+        }
+        assert_eq!(Query::decode("drop tables"), None);
+    }
+
+    #[test]
+    fn result_text_roundtrip() {
+        let chunk = ChunkStore::generate(1, 50, 7);
+        for q in [
+            Query::CountRange { lo: 15.0, hi: 20.0 },
+            Query::MeanMag { lo: 15.0, hi: 20.0 },
+            Query::Brightest { n: 5 },
+        ] {
+            let r = q.execute(&chunk);
+            assert_eq!(QueryResult::decode(&r.encode()), Some(r));
+        }
+    }
+
+    #[test]
+    fn merge_counts_and_means() {
+        let a = QueryResult::Count(3);
+        let b = QueryResult::Count(7);
+        assert_eq!(QueryResult::merge(&[a, b]), Some(QueryResult::Count(10)));
+
+        let a = QueryResult::Mean { count: 2, mean: 10.0 };
+        let b = QueryResult::Mean { count: 8, mean: 20.0 };
+        let Some(QueryResult::Mean { count, mean }) = QueryResult::merge(&[a, b]) else {
+            panic!()
+        };
+        assert_eq!(count, 10);
+        assert!((mean - 18.0).abs() < 1e-9, "weighted mean, got {mean}");
+        // Mixed variants are rejected.
+        assert_eq!(
+            QueryResult::merge(&[QueryResult::Count(1), QueryResult::Mean { count: 0, mean: 0.0 }]),
+            None
+        );
+    }
+
+    #[test]
+    fn merged_brightest_is_globally_sorted() {
+        let c1 = ChunkStore::generate(1, 200, 3);
+        let c2 = ChunkStore::generate(2, 200, 3);
+        let q = Query::Brightest { n: 4 };
+        let merged = QueryResult::merge(&[q.execute(&c1), q.execute(&c2)]).unwrap();
+        let QueryResult::Rows(rows) = merged else { panic!() };
+        assert_eq!(rows.len(), 8);
+        for w in rows.windows(2) {
+            assert!(w[0].mag <= w[1].mag);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn count_merge_is_sum(counts in proptest::collection::vec(0u64..1000, 1..20)) {
+            let results: Vec<QueryResult> = counts.iter().map(|&c| QueryResult::Count(c)).collect();
+            prop_assert_eq!(
+                QueryResult::merge(&results),
+                Some(QueryResult::Count(counts.iter().sum()))
+            );
+        }
+
+        #[test]
+        fn query_roundtrip_any_range(lo in 0.0f64..30.0, hi in 0.0f64..30.0) {
+            let q = Query::CountRange { lo, hi };
+            prop_assert_eq!(Query::decode(&q.encode()), Some(q));
+        }
+    }
+}

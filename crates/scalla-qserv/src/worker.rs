@@ -1,0 +1,229 @@
+//! The Qserv worker: a Scalla data server that executes task files.
+//!
+//! Workers "report their data availability by 'publishing' or 'exporting'
+//! paths that include a partition number" (§IV-B). A [`QservWorkerNode`]
+//! wraps a standard [`ServerNode`], exporting `/chunk/<partition>` for each
+//! chunk it hosts. When a master *writes* a file matching
+//! `/chunk/<p>/task-<id>`, the worker decodes the query, executes it
+//! against the chunk, and materializes `/chunk/<p>/result-<id>` — which the
+//! master then locates and reads through Scalla like any other file.
+
+use crate::chunk::ChunkStore;
+use crate::master::{result_path_for_task, task_partition};
+use crate::query::Query;
+use scalla_node::{ServerConfig, ServerNode};
+use scalla_proto::{Addr, ClientMsg, Msg};
+use scalla_simnet::{NetCtx, Node};
+use std::collections::HashMap;
+
+/// A data server hosting catalog chunks and executing queries on them.
+pub struct QservWorkerNode {
+    inner: ServerNode,
+    chunks: HashMap<u32, ChunkStore>,
+    /// Tasks executed (statistics).
+    pub tasks_executed: u64,
+}
+
+impl QservWorkerNode {
+    /// Builds a worker from a base server config and its hosted chunks.
+    /// The export list is derived from the chunks — one `/chunk/<p>`
+    /// prefix per partition, exactly Qserv's publication scheme.
+    pub fn new(mut cfg: ServerConfig, chunks: Vec<ChunkStore>) -> QservWorkerNode {
+        cfg.exports = chunks.iter().map(|c| format!("/chunk/{}", c.partition)).collect();
+        let inner = ServerNode::new(cfg);
+        let chunks = chunks.into_iter().map(|c| (c.partition, c)).collect();
+        QservWorkerNode { inner, chunks, tasks_executed: 0 }
+    }
+
+    /// Partitions hosted here.
+    pub fn partitions(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.chunks.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The wrapped server (inspection).
+    pub fn server(&self) -> &ServerNode {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped server (seeding auxiliary files).
+    pub fn server_mut(&mut self) -> &mut ServerNode {
+        &mut self.inner
+    }
+
+    fn maybe_execute(&mut self, path: &str) {
+        let Some(partition) = task_partition(path) else { return };
+        let Some(chunk) = self.chunks.get(&partition) else { return };
+        let Some(entry) = self.inner.fs().get(path) else { return };
+        let Some(text) = std::str::from_utf8(&entry.data).ok() else { return };
+        let Some(query) = Query::decode(text) else { return };
+        let result = query.execute(chunk);
+        let out_path = result_path_for_task(path);
+        let encoded = result.encode();
+        self.inner.fs_mut().create(&out_path);
+        self.inner.fs_mut().write(&out_path, 0, encoded.as_bytes());
+        self.tasks_executed += 1;
+    }
+}
+
+impl Node for QservWorkerNode {
+    fn on_start(&mut self, ctx: &mut dyn NetCtx) {
+        self.inner.on_start(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut dyn NetCtx, from: Addr, msg: Msg) {
+        // Capture the task path before the write lands (handle → path).
+        let written = if let Msg::Client(ClientMsg::Write { handle, .. }) = &msg {
+            self.inner.handle_path(*handle).map(str::to_string)
+        } else if let Msg::Client(ClientMsg::Close { handle }) = &msg {
+            // Execute on close so multi-write tasks see complete payloads.
+            self.inner.handle_path(*handle).map(str::to_string)
+        } else {
+            None
+        };
+        let execute_now = matches!(&msg, Msg::Client(ClientMsg::Close { .. }));
+        self.inner.on_message(ctx, from, msg);
+        if execute_now {
+            if let Some(path) = written {
+                self.maybe_execute(&path);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn NetCtx, token: u64) {
+        self.inner.on_timer(ctx, token);
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::master::task_path;
+    use crate::query::QueryResult;
+    use bytes::Bytes;
+    use scalla_proto::ServerMsg;
+    use scalla_simnet::{LatencyModel, SimNet};
+    use scalla_util::Nanos;
+
+    #[test]
+    fn worker_executes_task_on_close() {
+        let mut net = SimNet::new(LatencyModel::fixed(Nanos::from_micros(5)), 1);
+        let cfg = ServerConfig::new("w0", Addr(999));
+        let chunks = vec![ChunkStore::generate(3, 200, 7)];
+        let expected = Query::CountRange { lo: 15.0, hi: 20.0 }
+            .execute(&ChunkStore::generate(3, 200, 7));
+        let worker = net.add_node(Box::new(QservWorkerNode::new(cfg, chunks)));
+        net.start();
+        net.run_for(Nanos::from_millis(1));
+
+        // Simulate the master's write sequence directly at the worker.
+        let ext = Addr(500);
+        let path = task_path(3, 1);
+        net.inject(
+            ext,
+            worker,
+            ClientMsg::Open { path: path.clone(), write: true, refresh: false, avoid: None }
+                .into(),
+        );
+        net.run_for(Nanos::from_millis(1));
+        let q = Query::CountRange { lo: 15.0, hi: 20.0 };
+        net.inject(
+            ext,
+            worker,
+            ClientMsg::Write { handle: 0, offset: 0, data: Bytes::from(q.encode()) }.into(),
+        );
+        net.inject(ext, worker, ClientMsg::Close { handle: 0 }.into());
+        net.run_for(Nanos::from_millis(1));
+
+        let w = net
+            .node_mut(worker)
+            .as_any_mut()
+            .unwrap()
+            .downcast_ref::<QservWorkerNode>()
+            .unwrap();
+        assert_eq!(w.tasks_executed, 1);
+        let result_file = w.server().fs().get(&result_path_for_task(&path)).expect("result file");
+        let decoded = QueryResult::decode(std::str::from_utf8(&result_file.data).unwrap());
+        assert_eq!(decoded, Some(expected));
+    }
+
+    #[test]
+    fn exports_derived_from_partitions() {
+        let cfg = ServerConfig::new("w0", Addr(1));
+        let w = QservWorkerNode::new(
+            cfg,
+            vec![ChunkStore::generate(5, 10, 1), ChunkStore::generate(9, 10, 1)],
+        );
+        assert_eq!(w.partitions(), vec![5, 9]);
+    }
+
+    #[test]
+    fn non_task_writes_are_ignored() {
+        let mut net = SimNet::new(LatencyModel::fixed(Nanos::from_micros(5)), 1);
+        let cfg = ServerConfig::new("w0", Addr(999));
+        let worker =
+            net.add_node(Box::new(QservWorkerNode::new(cfg, vec![ChunkStore::generate(1, 10, 1)])));
+        net.start();
+        let ext = Addr(500);
+        net.inject(
+            ext,
+            worker,
+            ClientMsg::Open { path: "/chunk/1/notes.txt".into(), write: true, refresh: false, avoid: None }
+                .into(),
+        );
+        net.run_for(Nanos::from_millis(1));
+        net.inject(
+            ext,
+            worker,
+            ClientMsg::Write { handle: 0, offset: 0, data: Bytes::from_static(b"count 1 2") }
+                .into(),
+        );
+        net.inject(ext, worker, ClientMsg::Close { handle: 0 }.into());
+        net.run_for(Nanos::from_millis(1));
+        let w = net
+            .node_mut(worker)
+            .as_any_mut()
+            .unwrap()
+            .downcast_ref::<QservWorkerNode>()
+            .unwrap();
+        assert_eq!(w.tasks_executed, 0);
+    }
+
+    #[test]
+    fn task_for_unhosted_partition_is_ignored() {
+        let mut net = SimNet::new(LatencyModel::fixed(Nanos::from_micros(5)), 1);
+        let cfg = ServerConfig::new("w0", Addr(999));
+        let worker =
+            net.add_node(Box::new(QservWorkerNode::new(cfg, vec![ChunkStore::generate(1, 10, 1)])));
+        net.start();
+        let ext = Addr(500);
+        let path = task_path(42, 0); // partition 42 not hosted
+        net.inject(
+            ext,
+            worker,
+            ClientMsg::Open { path: path.clone(), write: true, refresh: false, avoid: None }.into(),
+        );
+        net.run_for(Nanos::from_millis(1));
+        net.inject(
+            ext,
+            worker,
+            ClientMsg::Write { handle: 0, offset: 0, data: Bytes::from_static(b"count 1 2") }
+                .into(),
+        );
+        net.inject(ext, worker, ClientMsg::Close { handle: 0 }.into());
+        net.run_for(Nanos::from_millis(1));
+        let w = net
+            .node_mut(worker)
+            .as_any_mut()
+            .unwrap()
+            .downcast_ref::<QservWorkerNode>()
+            .unwrap();
+        assert_eq!(w.tasks_executed, 0);
+        let _ = ServerMsg::CloseOk; // silence unused import lint paths
+    }
+}

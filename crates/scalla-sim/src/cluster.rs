@@ -1,0 +1,387 @@
+//! Cluster assembly on the simulated network.
+
+use scalla_cache::CacheConfig;
+use scalla_client::{ClientConfig, ClientNode, ClientOp, Directory, OpResult};
+use scalla_cluster::{MembershipConfig, NodeId, NodeRole, SelectionPolicy, TreeSpec};
+use scalla_node::{CmsdConfig, CmsdNode, CmsdRole, CnsNode, ServerConfig, ServerNode};
+use scalla_proto::Addr;
+use scalla_simnet::{LatencyModel, SimNet};
+use scalla_util::Nanos;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Everything needed to stand up a cluster.
+#[derive(Clone)]
+pub struct ClusterConfig {
+    /// Number of leaf data servers.
+    pub n_servers: usize,
+    /// Tree fanout (64 in Scalla; smaller keeps tests fast).
+    pub fanout: usize,
+    /// Number of replicated head nodes (≥ 1).
+    pub n_managers: usize,
+    /// Replicas per supervisor position (≥ 1). "Every node in the cluster
+    /// can be replicated to provide an arbitrary level of reliability"
+    /// (§II-B1): each replica logs into the same parents and adopts the
+    /// same children, so either can resolve the subtree.
+    pub supervisor_replicas: usize,
+    /// Default link model.
+    pub latency: LatencyModel,
+    /// Cache tuning applied to every cmsd.
+    pub cache: CacheConfig,
+    /// Membership tuning applied to every cmsd.
+    pub membership: MembershipConfig,
+    /// Selection policy at every cmsd.
+    pub policy: SelectionPolicy,
+    /// Exported prefixes declared by every server.
+    pub exports: Vec<String>,
+    /// MSS staging delay on the servers.
+    pub staging_delay: Nanos,
+    /// Heartbeat period cluster-wide.
+    pub heartbeat: Nanos,
+    /// Deterministic seed.
+    pub seed: u64,
+    /// Whether to run a Cluster Name Space daemon (footnote 3) and wire
+    /// every server's namespace notifications to it.
+    pub with_cns: bool,
+}
+
+impl ClusterConfig {
+    /// A small flat cluster with experiment-friendly tuning.
+    pub fn flat(n_servers: usize) -> ClusterConfig {
+        ClusterConfig {
+            n_servers,
+            fanout: 64,
+            n_managers: 1,
+            supervisor_replicas: 1,
+            latency: LatencyModel::lan(),
+            cache: CacheConfig::default(),
+            membership: MembershipConfig::default(),
+            policy: SelectionPolicy::RoundRobin,
+            exports: vec!["/".to_string()],
+            staging_delay: Nanos::from_secs(30),
+            heartbeat: Nanos::from_secs(1),
+            seed: 42,
+            with_cns: false,
+        }
+    }
+}
+
+/// A built cluster: the network plus an index of every node.
+pub struct SimCluster {
+    /// The simulated network; drive it with `run_for`/`run_until`.
+    pub net: SimNet,
+    /// Host-name directory shared with clients.
+    pub directory: Arc<Directory>,
+    /// Head-node addresses.
+    pub managers: Vec<Addr>,
+    /// Supervisor addresses (tree order).
+    pub supervisors: Vec<Addr>,
+    /// Leaf server addresses, aligned with `spec.servers`.
+    pub servers: Vec<Addr>,
+    /// The layout this cluster was built from.
+    pub spec: TreeSpec,
+    /// Client addresses added so far.
+    pub clients: Vec<Addr>,
+    /// The Cluster Name Space daemon, when configured.
+    pub cns: Option<Addr>,
+    cfg: ClusterConfig,
+}
+
+impl SimCluster {
+    /// Builds the cluster (nodes registered, nothing started yet). Call
+    /// [`SimCluster::settle`] to run logins and heartbeats before driving
+    /// load.
+    pub fn build(cfg: ClusterConfig) -> SimCluster {
+        let spec = TreeSpec::build(cfg.n_servers, cfg.fanout);
+        let mut net = SimNet::new(cfg.latency, cfg.seed);
+        let clock = net.clock();
+        let directory = Arc::new(Directory::new());
+
+        let cns = if cfg.with_cns {
+            let addr = net.add_node(Box::new(CnsNode::new()));
+            directory.register("cns", addr);
+            Some(addr)
+        } else {
+            None
+        };
+
+        // Pass 1: allocate addresses level by level (parents before
+        // children so children can name their parents at construction).
+        let mut addr_of: HashMap<NodeId, Vec<Addr>> = HashMap::new();
+
+        // Managers (replicas of the root).
+        let mut managers = Vec::new();
+        for m in 0..cfg.n_managers.max(1) {
+            let name = format!("mgr-{m}");
+            let mut c = CmsdConfig::manager(&name);
+            c.cache = cfg.cache.clone();
+            c.membership = cfg.membership.clone();
+            c.policy = cfg.policy;
+            c.heartbeat = cfg.heartbeat;
+            // A child is offline only after missing several heartbeats.
+            c.offline_after = cfg.heartbeat.mul(3).max(c.offline_after);
+            c.seed = cfg.seed ^ (m as u64);
+            let addr = net.add_node(Box::new(CmsdNode::new(c, clock.clone())));
+            directory.register(&name, addr);
+            managers.push(addr);
+        }
+        addr_of.insert(spec.manager, managers.clone());
+
+        // Interior + leaves in creation order (parents always first).
+        let mut supervisors = Vec::new();
+        let mut servers = Vec::new();
+        for node in &spec.nodes {
+            match node.role {
+                NodeRole::Manager => {}
+                NodeRole::Supervisor => {
+                    let parents = addr_of[&node.parent.expect("non-root")].clone();
+                    let replicas = cfg.supervisor_replicas.max(1);
+                    let mut addrs = Vec::with_capacity(replicas);
+                    for r in 0..replicas {
+                        let name = if r == 0 {
+                            format!("sup-{}", node.id.0)
+                        } else {
+                            format!("sup-{}r{r}", node.id.0)
+                        };
+                        let mut c = CmsdConfig::supervisor(&name, parents[0]);
+                        c.parents = parents.clone();
+                        c.exports = cfg.exports.clone();
+                        c.cache = cfg.cache.clone();
+                        c.membership = cfg.membership.clone();
+                        c.policy = cfg.policy;
+                        c.heartbeat = cfg.heartbeat;
+                        c.offline_after = cfg.heartbeat.mul(3).max(c.offline_after);
+                        c.seed = cfg.seed ^ u64::from(node.id.0) ^ ((r as u64) << 32);
+                        let addr = net.add_node(Box::new(CmsdNode::new(c, clock.clone())));
+                        directory.register(&name, addr);
+                        supervisors.push(addr);
+                        addrs.push(addr);
+                    }
+                    addr_of.insert(node.id, addrs);
+                }
+                NodeRole::Server => {
+                    let parents = addr_of[&node.parent.expect("non-root")].clone();
+                    let idx = servers.len();
+                    let name = format!("srv-{idx}");
+                    let mut c = ServerConfig::new(&name, parents[0]);
+                    c.parents = parents;
+                    c.exports = cfg.exports.clone();
+                    c.staging_delay = cfg.staging_delay;
+                    c.heartbeat = cfg.heartbeat;
+                    c.cns = cns;
+                    let addr = net.add_node(Box::new(ServerNode::new(c)));
+                    directory.register(&name, addr);
+                    servers.push(addr);
+                    addr_of.insert(node.id, vec![addr]);
+                }
+            }
+        }
+
+        SimCluster {
+            net,
+            directory,
+            managers,
+            supervisors,
+            servers,
+            spec,
+            clients: Vec::new(),
+            cns,
+            cfg,
+        }
+    }
+
+    /// The configuration the cluster was built with.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Seeds a file on server `idx` (online or MSS-resident).
+    pub fn seed_file(&mut self, idx: usize, path: &str, size: u64, online: bool) {
+        let addr = self.servers[idx];
+        let node = self
+            .net
+            .node_mut(addr)
+            .as_any_mut()
+            .expect("server exposes any")
+            .downcast_mut::<ServerNode>()
+            .expect("leaf is a ServerNode");
+        if online {
+            node.fs_mut().put_online(path, size);
+        } else {
+            node.fs_mut().put_offline(path, size);
+        }
+    }
+
+    /// Starts every node and runs the network for `duration` so logins and
+    /// first heartbeats complete.
+    pub fn settle(&mut self, duration: Nanos) {
+        self.net.start();
+        self.net.run_for(duration);
+    }
+
+    /// Attaches a scripted client targeting the manager(s). Returns its
+    /// address; results are harvested with [`SimCluster::client_results`].
+    pub fn add_client(&mut self, ops: Vec<ClientOp>, start_delay: Nanos) -> Addr {
+        let mut ccfg = ClientConfig::new(self.managers[0], self.directory.clone(), ops);
+        ccfg.managers = self.managers.clone();
+        ccfg.start_delay = start_delay;
+        ccfg.cns = self.cns;
+        let addr = self.net.add_node(Box::new(ClientNode::new(ccfg)));
+        self.clients.push(addr);
+        addr
+    }
+
+    /// Attaches a client with full config control.
+    pub fn add_client_with(&mut self, mut f: impl FnMut(&mut ClientConfig)) -> Addr {
+        let mut ccfg = ClientConfig::new(self.managers[0], self.directory.clone(), Vec::new());
+        ccfg.managers = self.managers.clone();
+        ccfg.cns = self.cns;
+        f(&mut ccfg);
+        let addr = self.net.add_node(Box::new(ClientNode::new(ccfg)));
+        self.clients.push(addr);
+        addr
+    }
+
+    /// Starts one late-added node (e.g. a client added after `settle`).
+    pub fn start_node(&mut self, addr: Addr) {
+        // Re-using revive semantics: a never-killed node can be started by
+        // kill+revive without losing state because kill only gates message
+        // delivery.
+        self.net.kill(addr);
+        self.net.revive(addr);
+    }
+
+    /// Harvests a client's operation records.
+    pub fn client_results(&mut self, addr: Addr) -> Vec<OpResult> {
+        self.net
+            .node_mut(addr)
+            .as_any_mut()
+            .expect("client exposes any")
+            .downcast_ref::<ClientNode>()
+            .expect("addr is a ClientNode")
+            .results()
+            .to_vec()
+    }
+
+    /// Whether a client has finished its script.
+    pub fn client_done(&mut self, addr: Addr) -> bool {
+        self.net
+            .node_mut(addr)
+            .as_any_mut()
+            .expect("client exposes any")
+            .downcast_ref::<ClientNode>()
+            .expect("addr is a ClientNode")
+            .is_done()
+    }
+
+    /// Runs `f` against a cmsd node (manager or supervisor).
+    pub fn with_cmsd<R>(&mut self, addr: Addr, f: impl FnOnce(&mut CmsdNode) -> R) -> R {
+        let node = self
+            .net
+            .node_mut(addr)
+            .as_any_mut()
+            .expect("cmsd exposes any")
+            .downcast_mut::<CmsdNode>()
+            .expect("addr is a CmsdNode");
+        f(node)
+    }
+
+    /// Runs `f` against a leaf server node.
+    pub fn with_server<R>(&mut self, idx: usize, f: impl FnOnce(&mut ServerNode) -> R) -> R {
+        let addr = self.servers[idx];
+        let node = self
+            .net
+            .node_mut(addr)
+            .as_any_mut()
+            .expect("server exposes any")
+            .downcast_mut::<ServerNode>()
+            .expect("addr is a ServerNode");
+        f(node)
+    }
+}
+
+/// Re-exported so the harness can name roles without importing
+/// scalla-cluster directly.
+pub use scalla_node::CmsdRole as Role;
+
+// Silence an unused-import warning path: CmsdRole is used via the re-export.
+const _: Option<CmsdRole> = None;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalla_client::OpOutcome;
+
+    fn small() -> ClusterConfig {
+        let mut cfg = ClusterConfig::flat(4);
+        cfg.latency = LatencyModel::fixed(Nanos::from_micros(20));
+        cfg.staging_delay = Nanos::from_secs(2);
+        cfg
+    }
+
+    #[test]
+    fn logins_complete_after_settle() {
+        let mut c = SimCluster::build(small());
+        c.settle(Nanos::from_secs(2));
+        let mgr = c.managers[0];
+        let active = c.with_cmsd(mgr, |n| n.members().active());
+        assert_eq!(active.len(), 4, "all servers logged in");
+    }
+
+    #[test]
+    fn end_to_end_open_of_seeded_file() {
+        let mut c = SimCluster::build(small());
+        c.seed_file(2, "/data/f1", 1024, true);
+        c.settle(Nanos::from_secs(2));
+        let client = c.add_client(
+            vec![ClientOp::Open { path: "/data/f1".into(), write: false }],
+            Nanos::ZERO,
+        );
+        c.start_node(client);
+        c.net.run_for(Nanos::from_secs(10));
+        let results = c.client_results(client);
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].outcome, OpOutcome::Ok);
+        assert_eq!(results[0].server.as_deref(), Some("srv-2"));
+        assert_eq!(results[0].redirects, 1, "flat tree: one hop");
+    }
+
+    #[test]
+    fn two_level_tree_walks_two_hops() {
+        let mut cfg = small();
+        cfg.n_servers = 9;
+        cfg.fanout = 3; // forces a supervisor level
+        let mut c = SimCluster::build(cfg);
+        assert_eq!(c.spec.depth(), 2);
+        c.seed_file(7, "/data/deep", 10, true);
+        c.settle(Nanos::from_secs(2));
+        let client = c.add_client(
+            vec![ClientOp::Open { path: "/data/deep".into(), write: false }],
+            Nanos::ZERO,
+        );
+        c.start_node(client);
+        c.net.run_for(Nanos::from_secs(20));
+        let results = c.client_results(client);
+        assert_eq!(results[0].outcome, OpOutcome::Ok);
+        assert_eq!(results[0].redirects, 2, "manager -> supervisor -> server");
+        assert_eq!(results[0].server.as_deref(), Some("srv-7"));
+    }
+
+    #[test]
+    fn nonexistent_file_is_notfound_after_full_delay() {
+        let mut c = SimCluster::build(small());
+        c.settle(Nanos::from_secs(2));
+        let t0 = c.net.now();
+        let client = c.add_client(
+            vec![ClientOp::Open { path: "/data/ghost".into(), write: false }],
+            Nanos::ZERO,
+        );
+        c.start_node(client);
+        c.net.run_for(Nanos::from_secs(30));
+        let results = c.client_results(client);
+        assert_eq!(results[0].outcome, OpOutcome::NotFound);
+        // The full 5 s delay was imposed before the negative verdict.
+        assert!(results[0].end.since(t0) >= Nanos::from_secs(5));
+        assert!(results[0].waits >= 1);
+    }
+}

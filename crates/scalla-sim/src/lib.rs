@@ -1,0 +1,35 @@
+//! Whole-cluster harness.
+//!
+//! This crate assembles complete Scalla clusters — manager(s), supervisor
+//! levels, data servers, clients — over either runtime:
+//!
+//! * [`cluster`] — builds a 64-ary (or any-fanout) tree from a
+//!   [`TreeSpec`](scalla_cluster::TreeSpec) on the deterministic simulated
+//!   network, seeds files, attaches scripted clients, and harvests their
+//!   latency records.
+//! * [`live`] — the live threaded runtime: one OS thread per node,
+//!   crossbeam channels as links, real wall-clock timers. The very same
+//!   [`Node`](scalla_simnet::Node) state machines run here, exercising the
+//!   real locking and queueing code paths under true concurrency.
+//! * [`tcp`] — the real-socket runtime: the same nodes again, but every
+//!   message crosses a localhost `TcpStream` through the binary wire
+//!   codec and frame decoder.
+//! * [`workload`] — synthetic workload generators shaped like the paper's
+//!   motivating load: BaBar/ROOT analysis jobs performing "several
+//!   meta-data operations on dozens of files per job" (§II-A), bulk
+//!   transfers, and create-heavy production.
+//! * [`metrics`] — aggregation of client records into latency
+//!   distributions for the experiment tables.
+
+pub mod cluster;
+pub mod live;
+pub mod metrics;
+pub mod tcp;
+pub mod trace;
+pub mod workload;
+
+pub use cluster::{ClusterConfig, SimCluster};
+pub use live::LiveNet;
+pub use tcp::TcpNet;
+pub use metrics::{summarize, LatencySummary};
+pub use workload::{analysis_job, make_catalog, WorkloadConfig, ZipfSampler};

@@ -1,0 +1,131 @@
+//! Aggregation of client records into experiment-grade summaries.
+
+use scalla_client::{OpOutcome, OpResult};
+use scalla_util::{Histogram, Nanos};
+
+/// A latency distribution plus outcome counts.
+pub struct LatencySummary {
+    /// Latency histogram over successful operations.
+    pub hist: Histogram,
+    /// Completed OK.
+    pub ok: u64,
+    /// NotFound verdicts.
+    pub not_found: u64,
+    /// Errors and give-ups.
+    pub failed: u64,
+    /// Total redirects across OK operations.
+    pub redirects: u64,
+    /// Total waits across OK operations.
+    pub waits: u64,
+    /// Total refresh recoveries.
+    pub refreshes: u64,
+}
+
+impl LatencySummary {
+    /// Mean latency of successful operations.
+    pub fn mean(&self) -> Nanos {
+        self.hist.mean()
+    }
+
+    /// Mean redirects per successful operation.
+    pub fn mean_redirects(&self) -> f64 {
+        if self.ok == 0 {
+            0.0
+        } else {
+            self.redirects as f64 / self.ok as f64
+        }
+    }
+
+    /// One-line table row.
+    pub fn row(&self) -> String {
+        format!(
+            "ok={} nf={} fail={} mean={} p50={} p99={} hops/op={:.2} waits={} refreshes={}",
+            self.ok,
+            self.not_found,
+            self.failed,
+            self.hist.mean(),
+            self.hist.median(),
+            self.hist.p99(),
+            self.mean_redirects(),
+            self.waits,
+            self.refreshes,
+        )
+    }
+}
+
+/// Summarizes a set of operation records, skipping `<sleep>` entries.
+pub fn summarize<'a>(results: impl IntoIterator<Item = &'a OpResult>) -> LatencySummary {
+    let mut s = LatencySummary {
+        hist: Histogram::new(),
+        ok: 0,
+        not_found: 0,
+        failed: 0,
+        redirects: 0,
+        waits: 0,
+        refreshes: 0,
+    };
+    for r in results {
+        if r.path == "<sleep>" {
+            continue;
+        }
+        match r.outcome {
+            OpOutcome::Ok => {
+                s.ok += 1;
+                s.hist.record(r.latency());
+                s.redirects += u64::from(r.redirects);
+                s.waits += u64::from(r.waits);
+            }
+            OpOutcome::NotFound => s.not_found += 1,
+            OpOutcome::Error(_) | OpOutcome::GaveUp => s.failed += 1,
+        }
+        s.refreshes += u64::from(r.refreshes);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(outcome: OpOutcome, us: u64, redirects: u32) -> OpResult {
+        OpResult {
+            op_index: 0,
+            path: "/f".into(),
+            start: Nanos::ZERO,
+            end: Nanos::from_micros(us),
+            outcome,
+            redirects,
+            waits: 0,
+            refreshes: 0,
+            server: None,
+            entries: Vec::new(),
+            data: None,
+        }
+    }
+
+    #[test]
+    fn summary_counts_and_means() {
+        let rs = vec![
+            result(OpOutcome::Ok, 100, 1),
+            result(OpOutcome::Ok, 300, 3),
+            result(OpOutcome::NotFound, 5_000_000, 0),
+            result(OpOutcome::GaveUp, 0, 0),
+        ];
+        let s = summarize(&rs);
+        assert_eq!(s.ok, 2);
+        assert_eq!(s.not_found, 1);
+        assert_eq!(s.failed, 1);
+        assert_eq!(s.mean(), Nanos::from_micros(200));
+        assert!((s.mean_redirects() - 2.0).abs() < 1e-9);
+        assert!(s.row().contains("ok=2"));
+    }
+
+    #[test]
+    fn sleeps_are_excluded() {
+        let mut r = result(OpOutcome::Ok, 1_000_000, 0);
+        r.path = "<sleep>".into();
+        let s = summarize(&[r]);
+        assert_eq!(s.ok, 0);
+        assert_eq!(s.hist.count(), 0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Operation-trace recording and replay.
+//!
+//! Experiments produce per-operation records; this module gives them a
+//! stable, line-oriented text form so runs can be archived, diffed, and
+//! re-summarized without re-running the simulation — the regression
+//! workflow EXPERIMENTS.md is built on. One line per operation:
+//!
+//! ```text
+//! v1 <start_ns> <end_ns> <outcome> <redirects> <waits> <refreshes> <server|-> <path>
+//! ```
+//!
+//! The format is versioned, whitespace-delimited, and keeps the free-form
+//! path last so it may contain anything but a newline.
+
+use scalla_client::{OpOutcome, OpResult};
+use scalla_util::Nanos;
+
+/// Serializes records, one line each.
+pub fn encode<'a>(results: impl IntoIterator<Item = &'a OpResult>) -> String {
+    let mut out = String::new();
+    for r in results {
+        let outcome = match &r.outcome {
+            OpOutcome::Ok => "ok",
+            OpOutcome::NotFound => "notfound",
+            OpOutcome::GaveUp => "gaveup",
+            OpOutcome::Error(_) => "error",
+        };
+        out.push_str(&format!(
+            "v1 {} {} {} {} {} {} {} {}\n",
+            r.start.0,
+            r.end.0,
+            outcome,
+            r.redirects,
+            r.waits,
+            r.refreshes,
+            r.server.as_deref().unwrap_or("-"),
+            r.path,
+        ));
+    }
+    out
+}
+
+/// A parse failure, with the offending line number (1-based).
+#[derive(Debug, PartialEq, Eq)]
+pub struct TraceError {
+    /// Line the error occurred on.
+    pub line: usize,
+    /// What was wrong.
+    pub reason: String,
+}
+
+/// Parses a trace produced by [`encode`].
+pub fn decode(text: &str) -> Result<Vec<OpResult>, TraceError> {
+    let mut out = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let err = |reason: &str| TraceError { line: idx + 1, reason: reason.to_string() };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut it = line.splitn(9, ' ');
+        let version = it.next().ok_or_else(|| err("empty line"))?;
+        if version != "v1" {
+            return Err(err("unknown version"));
+        }
+        let start: u64 = it.next().and_then(|s| s.parse().ok()).ok_or_else(|| err("bad start"))?;
+        let end: u64 = it.next().and_then(|s| s.parse().ok()).ok_or_else(|| err("bad end"))?;
+        let outcome = match it.next().ok_or_else(|| err("missing outcome"))? {
+            "ok" => OpOutcome::Ok,
+            "notfound" => OpOutcome::NotFound,
+            "gaveup" => OpOutcome::GaveUp,
+            "error" => OpOutcome::Error("recorded".into()),
+            _ => return Err(err("unknown outcome")),
+        };
+        let redirects: u32 =
+            it.next().and_then(|s| s.parse().ok()).ok_or_else(|| err("bad redirects"))?;
+        let waits: u32 = it.next().and_then(|s| s.parse().ok()).ok_or_else(|| err("bad waits"))?;
+        let refreshes: u32 =
+            it.next().and_then(|s| s.parse().ok()).ok_or_else(|| err("bad refreshes"))?;
+        let server = match it.next().ok_or_else(|| err("missing server"))? {
+            "-" => None,
+            s => Some(s.to_string()),
+        };
+        let path = it.next().ok_or_else(|| err("missing path"))?.to_string();
+        out.push(OpResult {
+            op_index: out.len(),
+            path,
+            start: Nanos(start),
+            end: Nanos(end),
+            outcome,
+            redirects,
+            waits,
+            refreshes,
+            server,
+            entries: Vec::new(),
+            data: None,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::summarize;
+
+    fn sample() -> Vec<OpResult> {
+        vec![
+            OpResult {
+                op_index: 0,
+                path: "/a/file with spaces.root".into(),
+                start: Nanos(100),
+                end: Nanos(5_100),
+                outcome: OpOutcome::Ok,
+                redirects: 2,
+                waits: 0,
+                refreshes: 0,
+                server: Some("srv-3".into()),
+                entries: Vec::new(),
+                data: None,
+            },
+            OpResult {
+                op_index: 1,
+                path: "/b".into(),
+                start: Nanos(200),
+                end: Nanos(5_000_000_200),
+                outcome: OpOutcome::NotFound,
+                redirects: 0,
+                waits: 1,
+                refreshes: 0,
+                server: None,
+                entries: Vec::new(),
+                data: None,
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything_observable() {
+        let original = sample();
+        let text = encode(&original);
+        let decoded = decode(&text).unwrap();
+        assert_eq!(decoded.len(), 2);
+        for (a, b) in original.iter().zip(&decoded) {
+            assert_eq!(a.path, b.path, "paths with spaces must survive");
+            assert_eq!(a.start, b.start);
+            assert_eq!(a.end, b.end);
+            assert_eq!(a.outcome == OpOutcome::Ok, b.outcome == OpOutcome::Ok);
+            assert_eq!(a.redirects, b.redirects);
+            assert_eq!(a.server, b.server);
+        }
+        // Summaries computed from the decoded trace match the originals.
+        assert_eq!(summarize(&original).row(), summarize(&decoded).row());
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_position() {
+        assert_eq!(decode("v2 1 2 ok 0 0 0 - /x").unwrap_err().line, 1);
+        let two = "v1 1 2 ok 0 0 0 - /x\nv1 oops";
+        assert_eq!(decode(two).unwrap_err().line, 2);
+        assert!(decode("v1 1 2 banana 0 0 0 - /x").is_err());
+    }
+
+    #[test]
+    fn blank_lines_tolerated() {
+        let text = format!("\n{}\n\n", encode(&sample()));
+        assert_eq!(decode(&text).unwrap().len(), 2);
+    }
+}

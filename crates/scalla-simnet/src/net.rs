@@ -1,0 +1,527 @@
+//! The event loop, latency model, and node traits.
+
+use scalla_proto::{Addr, Msg};
+use scalla_util::{Clock, Nanos, SplitMix64, VirtualClock};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::Arc;
+
+/// What a protocol state machine can do to the outside world. Both the
+/// discrete-event runtime (here) and the live threaded runtime implement
+/// this, so node logic is written once.
+pub trait NetCtx {
+    /// Current time.
+    fn now(&self) -> Nanos;
+    /// This node's address.
+    fn me(&self) -> Addr;
+    /// Sends `msg` to `to`; delivery is asynchronous and may be lossy.
+    fn send(&mut self, to: Addr, msg: Msg);
+    /// Arms a one-shot timer that fires `on_timer(token)` after `delay`.
+    fn set_timer(&mut self, delay: Nanos, token: u64);
+    /// Uniform random bits (deterministic under the simulator).
+    fn rand_u64(&mut self) -> u64;
+}
+
+/// A protocol state machine attached to the network.
+pub trait Node: Send {
+    /// Called once when the node is started (or revived).
+    fn on_start(&mut self, _ctx: &mut dyn NetCtx) {}
+    /// Called for each delivered message.
+    fn on_message(&mut self, ctx: &mut dyn NetCtx, from: Addr, msg: Msg);
+    /// Called when a timer armed with `set_timer` fires.
+    fn on_timer(&mut self, _ctx: &mut dyn NetCtx, _token: u64) {}
+    /// Optional downcast hook so harnesses can inspect or mutate concrete
+    /// node state (seed files, read client results) between events.
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
+}
+
+/// Per-link delivery latency: `base` plus uniform jitter in `[0, jitter)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Fixed one-way latency.
+    pub base: Nanos,
+    /// Upper bound (exclusive) of the uniform jitter added per message.
+    pub jitter: Nanos,
+}
+
+impl LatencyModel {
+    /// A LAN-ish default: 20 µs ± 10 µs one-way, in line with the paper's
+    /// commodity-interconnect setting.
+    pub fn lan() -> LatencyModel {
+        LatencyModel { base: Nanos::from_micros(20), jitter: Nanos::from_micros(10) }
+    }
+
+    /// A fixed, jitter-free latency (unit tests, analytic experiments).
+    pub fn fixed(latency: Nanos) -> LatencyModel {
+        LatencyModel { base: latency, jitter: Nanos::ZERO }
+    }
+
+    fn sample(&self, rng: &mut SplitMix64) -> Nanos {
+        if self.jitter.0 == 0 {
+            self.base
+        } else {
+            self.base + Nanos(rng.next_below(self.jitter.0))
+        }
+    }
+}
+
+#[derive(Debug)]
+enum EventKind {
+    Deliver { from: Addr, msg: Msg },
+    Timer { token: u64 },
+}
+
+struct Event {
+    at: Nanos,
+    seq: u64,
+    to: Addr,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Event) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Event) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Event) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Traffic counters.
+#[derive(Default, Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimStats {
+    /// Messages delivered to live nodes.
+    pub delivered: u64,
+    /// Messages dropped (dead endpoint or injected loss).
+    pub dropped: u64,
+    /// Timer firings.
+    pub timers: u64,
+}
+
+/// Collected effects of one handler invocation.
+#[derive(Default)]
+struct Effects {
+    sends: Vec<(Addr, Msg)>,
+    timers: Vec<(Nanos, u64)>,
+}
+
+struct SimCtx<'a> {
+    now: Nanos,
+    me: Addr,
+    rng: &'a mut SplitMix64,
+    effects: &'a mut Effects,
+}
+
+impl NetCtx for SimCtx<'_> {
+    fn now(&self) -> Nanos {
+        self.now
+    }
+    fn me(&self) -> Addr {
+        self.me
+    }
+    fn send(&mut self, to: Addr, msg: Msg) {
+        self.effects.sends.push((to, msg));
+    }
+    fn set_timer(&mut self, delay: Nanos, token: u64) {
+        self.effects.timers.push((delay, token));
+    }
+    fn rand_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+}
+
+/// The discrete-event network.
+pub struct SimNet {
+    clock: Arc<VirtualClock>,
+    nodes: Vec<Option<Box<dyn Node>>>,
+    events: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    default_latency: LatencyModel,
+    links: HashMap<(Addr, Addr), LatencyModel>,
+    down: HashSet<Addr>,
+    loss_permille: u16,
+    rng: SplitMix64,
+    stats: SimStats,
+}
+
+impl SimNet {
+    /// Creates a network with the given default link model and RNG seed.
+    pub fn new(default_latency: LatencyModel, seed: u64) -> SimNet {
+        SimNet {
+            clock: Arc::new(VirtualClock::new()),
+            nodes: Vec::new(),
+            events: BinaryHeap::new(),
+            seq: 0,
+            default_latency,
+            links: HashMap::new(),
+            down: HashSet::new(),
+            loss_permille: 0,
+            rng: SplitMix64::new(seed),
+            stats: SimStats::default(),
+        }
+    }
+
+    /// The virtual clock, shareable with caches and other components.
+    pub fn clock(&self) -> Arc<VirtualClock> {
+        self.clock.clone()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Nanos {
+        self.clock.now()
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// Registers a node; its `on_start` runs at the current time during
+    /// [`SimNet::start`] (or immediately if the net already started).
+    pub fn add_node(&mut self, node: Box<dyn Node>) -> Addr {
+        let addr = Addr(self.nodes.len() as u64);
+        self.nodes.push(Some(node));
+        addr
+    }
+
+    /// Runs `on_start` for every node (in registration order).
+    pub fn start(&mut self) {
+        for i in 0..self.nodes.len() {
+            let addr = Addr(i as u64);
+            if !self.down.contains(&addr) {
+                self.dispatch_start(addr);
+            }
+        }
+    }
+
+    /// Sets a symmetric per-link latency override.
+    pub fn set_link(&mut self, a: Addr, b: Addr, model: LatencyModel) {
+        self.links.insert((a, b), model);
+        self.links.insert((b, a), model);
+    }
+
+    /// Sets a global message loss rate in permille (0–1000).
+    pub fn set_loss_permille(&mut self, permille: u16) {
+        self.loss_permille = permille.min(1000);
+    }
+
+    /// Takes a node down: all queued and future messages to it are dropped,
+    /// as are its pending timers.
+    pub fn kill(&mut self, addr: Addr) {
+        self.down.insert(addr);
+    }
+
+    /// Revives a node; its `on_start` runs again (e.g. to re-login).
+    pub fn revive(&mut self, addr: Addr) {
+        if self.down.remove(&addr) {
+            self.dispatch_start(addr);
+        }
+    }
+
+    /// Whether `addr` is currently down.
+    pub fn is_down(&self, addr: Addr) -> bool {
+        self.down.contains(&addr)
+    }
+
+    /// Injects a message from an external source (e.g. a test harness)
+    /// with normal latency applied.
+    pub fn inject(&mut self, from: Addr, to: Addr, msg: Msg) {
+        self.queue_send(from, to, msg);
+    }
+
+    fn latency_between(&mut self, from: Addr, to: Addr) -> Nanos {
+        let model = self.links.get(&(from, to)).copied().unwrap_or(self.default_latency);
+        model.sample(&mut self.rng)
+    }
+
+    fn queue_send(&mut self, from: Addr, to: Addr, msg: Msg) {
+        if self.loss_permille > 0 && self.rng.next_below(1000) < self.loss_permille as u64 {
+            self.stats.dropped += 1;
+            return;
+        }
+        let at = self.clock.now() + self.latency_between(from, to);
+        self.push_event(Event { at, seq: 0, to, kind: EventKind::Deliver { from, msg } });
+    }
+
+    fn push_event(&mut self, mut ev: Event) {
+        ev.seq = self.seq;
+        self.seq += 1;
+        self.events.push(Reverse(ev));
+    }
+
+    fn dispatch_start(&mut self, addr: Addr) {
+        let Some(mut node) = self.nodes[addr.0 as usize].take() else {
+            return;
+        };
+        let mut effects = Effects::default();
+        {
+            let mut ctx = SimCtx {
+                now: self.clock.now(),
+                me: addr,
+                rng: &mut self.rng,
+                effects: &mut effects,
+            };
+            node.on_start(&mut ctx);
+        }
+        self.nodes[addr.0 as usize] = Some(node);
+        self.apply_effects(addr, effects);
+    }
+
+    fn apply_effects(&mut self, from: Addr, effects: Effects) {
+        for (to, msg) in effects.sends {
+            self.queue_send(from, to, msg);
+        }
+        let now = self.clock.now();
+        for (delay, token) in effects.timers {
+            self.push_event(Event {
+                at: now + delay,
+                seq: 0,
+                to: from,
+                kind: EventKind::Timer { token },
+            });
+        }
+    }
+
+    /// Processes the next event, if any, returning its timestamp.
+    pub fn step(&mut self) -> Option<Nanos> {
+        let Reverse(ev) = self.events.pop()?;
+        debug_assert!(ev.at >= self.clock.now(), "event from the past");
+        self.clock.set(ev.at);
+
+        if self.down.contains(&ev.to) || ev.to.0 as usize >= self.nodes.len() {
+            // Dead or unregistered endpoint (e.g. a synthetic external
+            // address used by a test harness): drop on the floor.
+            self.stats.dropped += 1;
+            return Some(ev.at);
+        }
+        let Some(mut node) = self.nodes[ev.to.0 as usize].take() else {
+            self.stats.dropped += 1;
+            return Some(ev.at);
+        };
+        let mut effects = Effects::default();
+        {
+            let mut ctx = SimCtx {
+                now: ev.at,
+                me: ev.to,
+                rng: &mut self.rng,
+                effects: &mut effects,
+            };
+            match ev.kind {
+                EventKind::Deliver { from, msg } => {
+                    if self.down.contains(&from) {
+                        // Sender died while the message was in flight; the
+                        // bytes still arrive (they already left the NIC).
+                    }
+                    self.stats.delivered += 1;
+                    node.on_message(&mut ctx, from, msg);
+                }
+                EventKind::Timer { token } => {
+                    self.stats.timers += 1;
+                    node.on_timer(&mut ctx, token);
+                }
+            }
+        }
+        self.nodes[ev.to.0 as usize] = Some(node);
+        self.apply_effects(ev.to, effects);
+        Some(ev.at)
+    }
+
+    /// Runs until the event queue is exhausted or virtual time would pass
+    /// `deadline`. Returns the number of events processed.
+    pub fn run_until(&mut self, deadline: Nanos) -> u64 {
+        let mut n = 0;
+        while let Some(Reverse(ev)) = self.events.peek() {
+            if ev.at > deadline {
+                break;
+            }
+            self.step();
+            n += 1;
+        }
+        // Time advances to the deadline even if the queue ran dry first.
+        if self.clock.now() < deadline {
+            self.clock.set(deadline);
+        }
+        n
+    }
+
+    /// Runs for `duration` of virtual time from now.
+    pub fn run_for(&mut self, duration: Nanos) -> u64 {
+        let deadline = self.clock.now() + duration;
+        self.run_until(deadline)
+    }
+
+    /// Mutable access to a node for harness inspection. The node must have
+    /// been registered and not be mid-dispatch.
+    pub fn node_mut(&mut self, addr: Addr) -> &mut dyn Node {
+        self.nodes[addr.0 as usize]
+            .as_deref_mut()
+            .expect("node present outside dispatch")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalla_proto::{ClientMsg, ServerMsg};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Echoes every Open back as a Redirect carrying the receive time.
+    struct Echo;
+    impl Node for Echo {
+        fn on_message(&mut self, ctx: &mut dyn NetCtx, from: Addr, msg: Msg) {
+            if matches!(msg, Msg::Client(ClientMsg::Open { .. })) {
+                let host = format!("{}", ctx.now().0);
+                ctx.send(from, ServerMsg::Redirect { host }.into());
+            }
+        }
+    }
+
+    /// Records delivery times of everything it hears.
+    struct Sink(Arc<AtomicU64>, Vec<Nanos>);
+    impl Node for Sink {
+        fn on_message(&mut self, ctx: &mut dyn NetCtx, _from: Addr, _msg: Msg) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+            self.1.push(ctx.now());
+        }
+    }
+
+    fn open() -> Msg {
+        ClientMsg::Open { path: "/f".into(), write: false, refresh: false, avoid: None }.into()
+    }
+
+    #[test]
+    fn fixed_latency_roundtrip() {
+        let mut net = SimNet::new(LatencyModel::fixed(Nanos::from_micros(50)), 1);
+        let echo = net.add_node(Box::new(Echo));
+        let count = Arc::new(AtomicU64::new(0));
+        let sink = net.add_node(Box::new(Sink(count.clone(), Vec::new())));
+        net.start();
+        net.inject(sink, echo, open());
+        net.run_until(Nanos::from_secs(1));
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+        // One hop there (50 µs) + one hop back (50 µs).
+        assert_eq!(net.now(), Nanos::from_secs(1));
+        assert_eq!(net.stats().delivered, 2);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = |seed| {
+            let mut net = SimNet::new(
+                LatencyModel { base: Nanos::from_micros(20), jitter: Nanos::from_micros(30) },
+                seed,
+            );
+            let echo = net.add_node(Box::new(Echo));
+            let count = Arc::new(AtomicU64::new(0));
+            let sink = net.add_node(Box::new(Sink(count.clone(), Vec::new())));
+            net.start();
+            for _ in 0..20 {
+                net.inject(sink, echo, open());
+            }
+            net.run_until(Nanos::from_secs(1));
+            (count.load(Ordering::SeqCst), net.stats())
+        };
+        assert_eq!(run(7), run(7));
+        let (a, _) = run(7);
+        assert_eq!(a, 20);
+    }
+
+    #[test]
+    fn killed_node_drops_messages_revive_restarts() {
+        struct Greeter {
+            peer: Addr,
+        }
+        impl Node for Greeter {
+            fn on_start(&mut self, ctx: &mut dyn NetCtx) {
+                ctx.send(self.peer, ServerMsg::CloseOk.into());
+            }
+            fn on_message(&mut self, _: &mut dyn NetCtx, _: Addr, _: Msg) {}
+        }
+        let mut net = SimNet::new(LatencyModel::fixed(Nanos::from_micros(10)), 3);
+        let count = Arc::new(AtomicU64::new(0));
+        let sink = net.add_node(Box::new(Sink(count.clone(), Vec::new())));
+        let greeter = net.add_node(Box::new(Greeter { peer: sink }));
+        net.start();
+        net.run_for(Nanos::from_millis(1));
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+
+        net.kill(sink);
+        net.inject(greeter, sink, open());
+        net.run_for(Nanos::from_millis(1));
+        assert_eq!(count.load(Ordering::SeqCst), 1, "down node hears nothing");
+        assert!(net.stats().dropped >= 1);
+
+        net.revive(sink);
+        // Reviving the greeter-side works too: on_start re-sends.
+        net.kill(greeter);
+        net.revive(greeter);
+        net.run_for(Nanos::from_millis(1));
+        assert_eq!(count.load(Ordering::SeqCst), 2, "revive re-runs on_start");
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct TimerNode {
+            fired: Arc<AtomicU64>,
+        }
+        impl Node for TimerNode {
+            fn on_start(&mut self, ctx: &mut dyn NetCtx) {
+                ctx.set_timer(Nanos::from_millis(30), 3);
+                ctx.set_timer(Nanos::from_millis(10), 1);
+                ctx.set_timer(Nanos::from_millis(20), 2);
+            }
+            fn on_message(&mut self, _: &mut dyn NetCtx, _: Addr, _: Msg) {}
+            fn on_timer(&mut self, ctx: &mut dyn NetCtx, token: u64) {
+                // Tokens must arrive 1, 2, 3 at 10, 20, 30 ms.
+                let n = self.fired.fetch_add(1, Ordering::SeqCst) + 1;
+                assert_eq!(n, token);
+                assert_eq!(ctx.now(), Nanos::from_millis(10 * token));
+            }
+        }
+        let fired = Arc::new(AtomicU64::new(0));
+        let mut net = SimNet::new(LatencyModel::fixed(Nanos::ZERO), 0);
+        net.add_node(Box::new(TimerNode { fired: fired.clone() }));
+        net.start();
+        net.run_until(Nanos::from_secs(1));
+        assert_eq!(fired.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn loss_rate_drops_roughly_that_fraction() {
+        let mut net = SimNet::new(LatencyModel::fixed(Nanos::from_micros(1)), 11);
+        let count = Arc::new(AtomicU64::new(0));
+        let sink = net.add_node(Box::new(Sink(count.clone(), Vec::new())));
+        net.start();
+        net.set_loss_permille(500);
+        for _ in 0..1000 {
+            net.inject(Addr(99), sink, open());
+        }
+        net.run_until(Nanos::from_secs(1));
+        let delivered = count.load(Ordering::SeqCst);
+        assert!((350..=650).contains(&delivered), "delivered={delivered}");
+    }
+
+    #[test]
+    fn link_override_beats_default() {
+        let mut net = SimNet::new(LatencyModel::fixed(Nanos::from_millis(10)), 0);
+        let count = Arc::new(AtomicU64::new(0));
+        let sink = net.add_node(Box::new(Sink(count.clone(), Vec::new())));
+        let src = net.add_node(Box::new(Echo));
+        net.set_link(src, sink, LatencyModel::fixed(Nanos::from_micros(1)));
+        net.start();
+        net.inject(src, sink, open());
+        // Well before the 10 ms default, the override has delivered.
+        net.run_until(Nanos::from_millis(1));
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+    }
+}

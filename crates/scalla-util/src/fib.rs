@@ -1,0 +1,106 @@
+//! Fibonacci table sizing (§III-A1).
+//!
+//! The paper sizes the location hash table "to be a Fibonacci number of
+//! entries" and, when 80 % full, rebuilds it at "the subsequent Fibonacci
+//! number". Footnote 4 reports that CRC-32 modulo a Fibonacci number
+//! disperses file names much more uniformly than modulo a power of two;
+//! experiment E4 reproduces that comparison.
+
+/// All Fibonacci numbers that fit in a `u64`, starting at F(3) = 2.
+///
+/// Sizes 0 and 1 are useless as table sizes, so the ladder starts at 2.
+/// The sequence is precomputed so that size selection is a binary search
+/// over a constant table rather than runtime iteration.
+pub const FIBONACCI: [u64; 91] = build_fibs();
+
+const fn build_fibs() -> [u64; 91] {
+    let mut out = [0u64; 91];
+    let (mut a, mut b) = (1u64, 2u64); // F(2), F(3)
+    let mut i = 0;
+    while i < 91 {
+        out[i] = b;
+        i += 1;
+        if i < 91 {
+            // Guarded so the final iteration does not compute F(94), which
+            // would overflow u64 during const evaluation.
+            let next = a + b;
+            a = b;
+            b = next;
+        }
+    }
+    out
+}
+
+/// Returns the smallest Fibonacci number `>= n` (minimum 2).
+///
+/// ```
+/// assert_eq!(scalla_util::fib_at_least(1), 2);
+/// assert_eq!(scalla_util::fib_at_least(13), 13);
+/// assert_eq!(scalla_util::fib_at_least(14), 21);
+/// ```
+#[inline]
+pub fn fib_at_least(n: u64) -> u64 {
+    match FIBONACCI.binary_search(&n) {
+        Ok(i) => FIBONACCI[i],
+        Err(i) => FIBONACCI[i.min(FIBONACCI.len() - 1)],
+    }
+}
+
+/// Returns the Fibonacci number following `n`, or `n` itself if `n` is not
+/// in the sequence (in which case the caller should have used
+/// [`fib_at_least`] first). Saturates at the largest `u64` Fibonacci number.
+#[inline]
+pub fn next_fib(n: u64) -> u64 {
+    match FIBONACCI.binary_search(&n) {
+        Ok(i) => FIBONACCI[(i + 1).min(FIBONACCI.len() - 1)],
+        Err(i) => FIBONACCI[i.min(FIBONACCI.len() - 1)],
+    }
+}
+
+/// Tests whether `n` is one of the table-size Fibonacci numbers (>= 2).
+#[inline]
+pub fn is_fibonacci(n: u64) -> bool {
+    FIBONACCI.binary_search(&n).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_starts_correctly() {
+        assert_eq!(&FIBONACCI[..8], &[2, 3, 5, 8, 13, 21, 34, 55]);
+    }
+
+    #[test]
+    fn ladder_is_strictly_increasing_and_fibonacci() {
+        for w in FIBONACCI.windows(3) {
+            assert!(w[0] < w[1]);
+            assert_eq!(w[0] + w[1], w[2]);
+        }
+    }
+
+    #[test]
+    fn at_least_behaviour() {
+        assert_eq!(fib_at_least(0), 2);
+        assert_eq!(fib_at_least(2), 2);
+        assert_eq!(fib_at_least(4), 5);
+        assert_eq!(fib_at_least(100), 144);
+        assert_eq!(fib_at_least(u64::MAX), *FIBONACCI.last().unwrap());
+    }
+
+    #[test]
+    fn next_behaviour() {
+        assert_eq!(next_fib(2), 3);
+        assert_eq!(next_fib(13), 21);
+        assert_eq!(next_fib(*FIBONACCI.last().unwrap()), *FIBONACCI.last().unwrap());
+    }
+
+    #[test]
+    fn membership() {
+        assert!(is_fibonacci(2));
+        assert!(is_fibonacci(6765));
+        assert!(!is_fibonacci(6766));
+        assert!(!is_fibonacci(1024));
+    }
+}

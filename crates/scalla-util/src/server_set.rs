@@ -1,0 +1,344 @@
+//! 64-bit server-set vectors (§III-A1).
+//!
+//! Scalla clusters nodes "in sets of 64" and describes location state with
+//! three 64-bit vectors: `V_h` (servers that have the file), `V_p` (servers
+//! preparing it), and `V_q` (servers still to be queried). Server *i*
+//! corresponds to bit `1 << i`. This module provides the [`ServerSet`]
+//! newtype with the set algebra those vectors need, plus the [`ServerId`]
+//! slot index type.
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum number of directly addressable servers under one manager or
+/// supervisor — the defining constant of Scalla's 64-ary tree.
+pub const MAX_SERVERS: usize = 64;
+
+/// A slot number in `0..64` identifying a server within its parent's set.
+pub type ServerId = u8;
+
+/// A set of up to 64 servers, one bit per slot.
+///
+/// This is the concrete representation of every vector in the paper:
+/// `V_h`, `V_p`, `V_q` (location state), `V_m` (path eligibility), and
+/// `V_c`/`V_wc` (connect corrections).
+///
+/// ```
+/// use scalla_util::ServerSet;
+///
+/// let vh = ServerSet::single(3) | ServerSet::single(7);
+/// let vm = ServerSet::first_n(8);
+/// assert!(vh.is_subset(vm));
+/// assert_eq!((vh & vm).iter().collect::<Vec<_>>(), vec![3, 7]);
+/// assert_eq!((vm - vh).len(), 6);
+/// ```
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Serialize, Deserialize,
+)]
+#[repr(transparent)]
+pub struct ServerSet(pub u64);
+
+impl ServerSet {
+    /// The empty set.
+    pub const EMPTY: ServerSet = ServerSet(0);
+    /// The full set of 64 slots.
+    pub const ALL: ServerSet = ServerSet(u64::MAX);
+
+    /// Builds a set containing exactly `id`.
+    ///
+    /// # Panics
+    /// Panics if `id >= 64`.
+    #[inline]
+    pub fn single(id: ServerId) -> ServerSet {
+        assert!((id as usize) < MAX_SERVERS, "server id {id} out of range");
+        ServerSet(1u64 << id)
+    }
+
+    /// Builds a set containing slots `0..n`.
+    ///
+    /// # Panics
+    /// Panics if `n > 64`.
+    #[inline]
+    pub fn first_n(n: usize) -> ServerSet {
+        assert!(n <= MAX_SERVERS, "set size {n} out of range");
+        if n == MAX_SERVERS {
+            ServerSet::ALL
+        } else {
+            ServerSet((1u64 << n) - 1)
+        }
+    }
+
+    /// Whether the set is empty. The resolution protocol branches on the
+    /// emptiness of `V_h`, `V_p`, and `V_q` (§III-B1, steps 2–4).
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of servers in the set.
+    #[inline]
+    pub fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(self, id: ServerId) -> bool {
+        (id as usize) < MAX_SERVERS && self.0 & (1u64 << id) != 0
+    }
+
+    /// Inserts `id`, returning the new set.
+    #[inline]
+    #[must_use]
+    pub fn with(self, id: ServerId) -> ServerSet {
+        self | ServerSet::single(id)
+    }
+
+    /// Removes `id`, returning the new set.
+    #[inline]
+    #[must_use]
+    pub fn without(self, id: ServerId) -> ServerSet {
+        ServerSet(self.0 & !(1u64 << id))
+    }
+
+    /// Inserts `id` in place.
+    #[inline]
+    pub fn insert(&mut self, id: ServerId) {
+        *self = self.with(id);
+    }
+
+    /// Removes `id` in place.
+    #[inline]
+    pub fn remove(&mut self, id: ServerId) {
+        *self = self.without(id);
+    }
+
+    /// Set union.
+    #[inline]
+    #[must_use]
+    pub fn union(self, other: ServerSet) -> ServerSet {
+        ServerSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[inline]
+    #[must_use]
+    pub fn intersect(self, other: ServerSet) -> ServerSet {
+        ServerSet(self.0 & other.0)
+    }
+
+    /// Set difference (`self \ other`).
+    #[inline]
+    #[must_use]
+    pub fn minus(self, other: ServerSet) -> ServerSet {
+        ServerSet(self.0 & !other.0)
+    }
+
+    /// Complement within the 64-slot universe.
+    #[inline]
+    #[must_use]
+    pub fn complement(self) -> ServerSet {
+        ServerSet(!self.0)
+    }
+
+    /// Whether the two sets share no members.
+    #[inline]
+    pub fn is_disjoint(self, other: ServerSet) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Whether every member of `self` is in `other`.
+    #[inline]
+    pub fn is_subset(self, other: ServerSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// The lowest-numbered member, if any. Used as a cheap deterministic
+    /// pick when a selection policy does not apply.
+    #[inline]
+    pub fn first(self) -> Option<ServerId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0.trailing_zeros() as ServerId)
+        }
+    }
+
+    /// Iterates members in increasing slot order.
+    #[inline]
+    pub fn iter(self) -> Iter {
+        Iter(self.0)
+    }
+}
+
+impl std::ops::BitOr for ServerSet {
+    type Output = ServerSet;
+    #[inline]
+    fn bitor(self, rhs: ServerSet) -> ServerSet {
+        self.union(rhs)
+    }
+}
+
+impl std::ops::BitOrAssign for ServerSet {
+    #[inline]
+    fn bitor_assign(&mut self, rhs: ServerSet) {
+        *self = self.union(rhs);
+    }
+}
+
+impl std::ops::BitAnd for ServerSet {
+    type Output = ServerSet;
+    #[inline]
+    fn bitand(self, rhs: ServerSet) -> ServerSet {
+        self.intersect(rhs)
+    }
+}
+
+impl std::ops::BitAndAssign for ServerSet {
+    #[inline]
+    fn bitand_assign(&mut self, rhs: ServerSet) {
+        *self = self.intersect(rhs);
+    }
+}
+
+impl std::ops::Sub for ServerSet {
+    type Output = ServerSet;
+    #[inline]
+    fn sub(self, rhs: ServerSet) -> ServerSet {
+        self.minus(rhs)
+    }
+}
+
+impl std::ops::Not for ServerSet {
+    type Output = ServerSet;
+    #[inline]
+    fn not(self) -> ServerSet {
+        self.complement()
+    }
+}
+
+impl FromIterator<ServerId> for ServerSet {
+    fn from_iter<T: IntoIterator<Item = ServerId>>(iter: T) -> ServerSet {
+        let mut set = ServerSet::EMPTY;
+        for id in iter {
+            set.insert(id);
+        }
+        set
+    }
+}
+
+impl IntoIterator for ServerSet {
+    type Item = ServerId;
+    type IntoIter = Iter;
+    fn into_iter(self) -> Iter {
+        self.iter()
+    }
+}
+
+/// Iterator over set members in increasing slot order.
+#[derive(Clone)]
+pub struct Iter(u64);
+
+impl Iterator for Iter {
+    type Item = ServerId;
+
+    #[inline]
+    fn next(&mut self) -> Option<ServerId> {
+        if self.0 == 0 {
+            None
+        } else {
+            let id = self.0.trailing_zeros() as ServerId;
+            self.0 &= self.0 - 1;
+            Some(id)
+        }
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Iter {}
+
+impl std::fmt::Debug for ServerSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (i, id) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{id}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basics() {
+        let mut s = ServerSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(0);
+        s.insert(63);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(0) && s.contains(63) && !s.contains(32));
+        s.remove(0);
+        assert_eq!(s.first(), Some(63));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![63]);
+    }
+
+    #[test]
+    fn first_n() {
+        assert_eq!(ServerSet::first_n(0), ServerSet::EMPTY);
+        assert_eq!(ServerSet::first_n(64), ServerSet::ALL);
+        assert_eq!(ServerSet::first_n(3).iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_panics() {
+        ServerSet::single(64);
+    }
+
+    #[test]
+    fn debug_format() {
+        let s: ServerSet = [1u8, 5, 9].into_iter().collect();
+        assert_eq!(format!("{s:?}"), "{1,5,9}");
+    }
+
+    proptest! {
+        #[test]
+        fn union_intersect_laws(a: u64, b: u64) {
+            let (sa, sb) = (ServerSet(a), ServerSet(b));
+            // De Morgan.
+            prop_assert_eq!(!(sa | sb), !sa & !sb);
+            prop_assert_eq!(!(sa & sb), !sa | !sb);
+            // Difference definition.
+            prop_assert_eq!(sa - sb, sa & !sb);
+            // Disjointness and subset coherence.
+            prop_assert_eq!(sa.is_disjoint(sb), (sa & sb).is_empty());
+            prop_assert!((sa & sb).is_subset(sa));
+        }
+
+        #[test]
+        fn iter_roundtrip(a: u64) {
+            let s = ServerSet(a);
+            let rebuilt: ServerSet = s.iter().collect();
+            prop_assert_eq!(rebuilt, s);
+            prop_assert_eq!(s.iter().len() as u32, s.len());
+        }
+
+        #[test]
+        fn insert_remove_inverse(a: u64, id in 0u8..64) {
+            let s = ServerSet(a);
+            prop_assert_eq!(s.with(id).without(id), s.without(id));
+            prop_assert!(s.with(id).contains(id));
+            prop_assert!(!s.without(id).contains(id));
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! BaBar-style analysis campaign (§II-A): the workload Scalla was built
+//! for — many simultaneous jobs, each doing "several meta-data operations
+//! on dozens of files" before reading them, against a two-level 64-ary
+//! cluster with MSS-resident files and a prepare-driven bulk transfer.
+//!
+//! Run with: `cargo run --example babar_analysis`
+
+use scalla::prelude::*;
+use scalla::sim::workload;
+use scalla::sim::{summarize, WorkloadConfig};
+use scalla::util::Histogram;
+
+fn main() {
+    // 100 data servers with fanout 16 -> a supervisor level, like a small
+    // production site. Short staging for the demo.
+    let mut cfg = ClusterConfig::flat(100);
+    cfg.fanout = 16;
+    cfg.staging_delay = Nanos::from_secs(20);
+    cfg.policy = SelectionPolicy::LeastSelected;
+    let mut cluster = SimCluster::build(cfg);
+    println!(
+        "cluster: {} servers, {} supervisors, depth {}",
+        cluster.servers.len(),
+        cluster.supervisors.len(),
+        cluster.spec.depth()
+    );
+
+    // A 2 000-file catalog, each file on 2 of the 100 servers; 5 % of the
+    // catalog is MSS-resident (offline until staged).
+    let catalog = workload::make_catalog(2_000, "babar");
+    let placement = workload::place_catalog(catalog.len(), 100, 2, 7);
+    for (i, homes) in placement.iter().enumerate() {
+        let online = i % 20 != 0;
+        for &s in homes {
+            cluster.seed_file(s, &catalog[i], 1 << 20, online);
+        }
+    }
+    cluster.settle(Nanos::from_secs(2));
+
+    // 40 analysis jobs, staggered starts, each touching 24 files with 2
+    // metadata ops per file (the §II-A shape).
+    let mut clients = Vec::new();
+    for job in 0..40u64 {
+        let wl = WorkloadConfig {
+            files_per_job: 24,
+            metadata_ops_per_file: 2,
+            think: Nanos::from_millis(2),
+            seed: 1000 + job,
+        };
+        let ops = workload::analysis_job(&catalog, &wl);
+        let addr = cluster.add_client(ops, Nanos::from_millis(job * 5));
+        cluster.start_node(addr);
+        clients.push(addr);
+    }
+
+    // One bulk-transfer job that prepares its file list first (§III-B2).
+    let bulk_paths: Vec<String> = catalog.iter().step_by(40).take(20).cloned().collect();
+    let bulk = cluster.add_client(workload::bulk_transfer_job(&bulk_paths), Nanos::ZERO);
+    cluster.start_node(bulk);
+
+    cluster.net.run_for(Nanos::from_secs(120));
+
+    // Aggregate per-op latencies across all analysis jobs.
+    let mut all = Vec::new();
+    for &c in &clients {
+        all.extend(cluster.client_results(c));
+    }
+    let s = summarize(&all);
+    println!("\n== analysis jobs ({} ops) ==", s.ok + s.not_found + s.failed);
+    println!("{}", s.row());
+
+    let bulk_results = cluster.client_results(bulk);
+    let bs = summarize(&bulk_results);
+    println!("\n== bulk transfer (prepared) ==");
+    println!("{}", bs.row());
+
+    // Distribution of redirection latency for *cache-hit* opens: later
+    // accesses to already-located files.
+    let mut warm = Histogram::new();
+    for r in all.iter().filter(|r| r.waits == 0 && r.outcome == OpOutcome::Ok) {
+        warm.record(r.latency());
+    }
+    println!("\nwarm-path operations: {}", warm.summary());
+
+    // Manager cache statistics: hit ratio should dominate as jobs overlap
+    // on popular files.
+    let mgr = cluster.managers[0];
+    let report = cluster.with_cmsd(mgr, |n| n.cache().stats().report());
+    println!("\nmanager cmsd: {report}");
+
+    assert!(s.ok > 0, "analysis jobs must complete operations");
+    assert!(bs.ok > 0, "bulk transfer must complete");
+    println!("\nbabar_analysis OK");
+}

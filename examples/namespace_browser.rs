@@ -1,0 +1,63 @@
+//! The Cluster Name Space daemon in action (footnote 3, §V): the cluster
+//! itself never answers `ls` — "an ls-type function across all nodes in a
+//! cluster" conflicts with low latency (§II-B4) — but the CNS composes a
+//! browsable global namespace from server notifications, including files
+//! created at runtime.
+//!
+//! Run with: `cargo run --example namespace_browser`
+
+use bytes::Bytes;
+use scalla::prelude::*;
+use scalla::sim::ClusterConfig;
+
+fn main() {
+    let mut cfg = ClusterConfig::flat(6);
+    cfg.with_cns = true;
+    let mut cluster = SimCluster::build(cfg);
+
+    // Seed a small federation-style namespace across the servers.
+    let seeds = [
+        (0usize, "/atlas/data/run1/f0.root"),
+        (1, "/atlas/data/run1/f1.root"),
+        (2, "/atlas/data/run2/f0.root"),
+        (3, "/atlas/mc/gen/f0.root"),
+        (4, "/cms/data/run9/f0.root"),
+        (5, "/atlas/data/run1/f0.root"), // replica of the first file
+    ];
+    for (srv, path) in seeds {
+        cluster.seed_file(srv, path, 1 << 20, true);
+    }
+    cluster.settle(Nanos::from_secs(2));
+
+    // Browse top-down, then create a new file and browse again.
+    let ops = vec![
+        ClientOp::List { dir: "/".into() },
+        ClientOp::List { dir: "/atlas".into() },
+        ClientOp::List { dir: "/atlas/data".into() },
+        ClientOp::List { dir: "/atlas/data/run1".into() },
+        ClientOp::Create { path: "/atlas/data/run1/f2.root".into(), data: Bytes::from_static(b"new") },
+        ClientOp::List { dir: "/atlas/data/run1".into() },
+    ];
+    let client = cluster.add_client(ops, Nanos::ZERO);
+    cluster.start_node(client);
+    cluster.net.run_for(Nanos::from_secs(60));
+
+    let results = cluster.client_results(client);
+    println!("== namespace browse ==");
+    for (r, op_is_list) in results.iter().zip([true, true, true, true, false, true]) {
+        if op_is_list {
+            println!("ls {:24} -> {:?}", r.path, r.entries);
+        } else {
+            println!("create {:20} -> {:?} via {:?}", r.path, r.outcome, r.server);
+        }
+    }
+
+    assert_eq!(results[0].entries, vec!["atlas", "cms"]);
+    assert_eq!(results[1].entries, vec!["data", "mc"]);
+    assert_eq!(results[2].entries, vec!["run1", "run2"]);
+    // The replica lists once.
+    assert_eq!(results[3].entries, vec!["f0.root", "f1.root"]);
+    // After the runtime create, the new file appears.
+    assert_eq!(results[5].entries, vec!["f0.root", "f1.root", "f2.root"]);
+    println!("\nnamespace_browser OK");
+}

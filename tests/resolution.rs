@@ -1,0 +1,340 @@
+//! End-to-end resolution behaviour across crates: latency shape, staging,
+//! refresh recovery, prepare, and deep trees.
+
+use scalla::prelude::*;
+use scalla::sim::ClusterConfig;
+
+fn fixed_cfg(n: usize) -> ClusterConfig {
+    let mut cfg = ClusterConfig::flat(n);
+    cfg.latency = LatencyModel::fixed(Nanos::from_micros(25));
+    cfg.staging_delay = Nanos::from_secs(3);
+    cfg
+}
+
+#[test]
+fn cold_resolution_includes_server_response_time() {
+    let mut c = SimCluster::build(fixed_cfg(8));
+    c.seed_file(4, "/data/f", 1, true);
+    c.settle(Nanos::from_secs(2));
+    let client = c.add_client(
+        vec![
+            ClientOp::Open { path: "/data/f".into(), write: false },
+            ClientOp::Open { path: "/data/f".into(), write: false },
+        ],
+        Nanos::ZERO,
+    );
+    c.start_node(client);
+    c.net.run_for(Nanos::from_secs(10));
+    let r = c.client_results(client);
+    assert_eq!(r[0].outcome, OpOutcome::Ok);
+    assert_eq!(r[1].outcome, OpOutcome::Ok);
+    // Cold: client->mgr, mgr->srv locate, srv->mgr have, mgr->client
+    // redirect, open pair, close pair = 8 hops x 25 µs = 200 µs.
+    // Warm: locate round trip absent = 150 µs.
+    assert_eq!(r[0].latency(), Nanos::from_micros(200));
+    assert_eq!(r[1].latency(), Nanos::from_micros(150));
+}
+
+#[test]
+fn deeper_trees_cost_one_redirect_per_level() {
+    // Depth 1 vs depth 2 with identical link latency.
+    let mut shallow = SimCluster::build(fixed_cfg(4));
+    shallow.seed_file(3, "/data/f", 1, true);
+    shallow.settle(Nanos::from_secs(2));
+    let c1 = shallow.add_client(
+        vec![ClientOp::Open { path: "/data/f".into(), write: false }],
+        Nanos::ZERO,
+    );
+    shallow.start_node(c1);
+    shallow.net.run_for(Nanos::from_secs(10));
+    let r_shallow = shallow.client_results(c1);
+
+    let mut cfg = fixed_cfg(16);
+    cfg.fanout = 4; // depth 2
+    let mut deep = SimCluster::build(cfg);
+    assert_eq!(deep.spec.depth(), 2);
+    deep.seed_file(15, "/data/f", 1, true);
+    deep.settle(Nanos::from_secs(2));
+    let c2 = deep.add_client(
+        vec![ClientOp::Open { path: "/data/f".into(), write: false }],
+        Nanos::ZERO,
+    );
+    deep.start_node(c2);
+    deep.net.run_for(Nanos::from_secs(10));
+    let r_deep = deep.client_results(c2);
+
+    assert_eq!(r_shallow[0].redirects, 1);
+    assert_eq!(r_deep[0].redirects, 2);
+    assert!(
+        r_deep[0].latency() > r_shallow[0].latency(),
+        "extra level must add latency: {} vs {}",
+        r_deep[0].latency(),
+        r_shallow[0].latency()
+    );
+    // But far less than double: each level adds a redirect + locate leg,
+    // the paper's per-level O(1) claim.
+    assert!(r_deep[0].latency() < r_shallow[0].latency().mul(3));
+}
+
+#[test]
+fn mss_staging_flow() {
+    let mut c = SimCluster::build(fixed_cfg(4));
+    c.seed_file(2, "/mss/archive", 1 << 10, false);
+    c.settle(Nanos::from_secs(2));
+    let client = c.add_client(
+        vec![ClientOp::OpenRead { path: "/mss/archive".into(), len: 64 }],
+        Nanos::ZERO,
+    );
+    c.start_node(client);
+    c.net.run_for(Nanos::from_secs(60));
+    let r = c.client_results(client);
+    assert_eq!(r[0].outcome, OpOutcome::Ok, "staged file must eventually serve");
+    // The op had to ride out the staging delay.
+    assert!(r[0].latency() >= Nanos::from_secs(3));
+    assert!(r[0].waits >= 1, "client was told to wait during staging");
+    // Server-side: the file is now online.
+    assert!(c.with_server(2, |s| s.fs().get("/mss/archive").unwrap().online));
+}
+
+#[test]
+fn stale_cache_refresh_recovery() {
+    let mut c = SimCluster::build(fixed_cfg(4));
+    c.seed_file(1, "/data/f", 1, true);
+    c.seed_file(3, "/data/f", 1, true);
+    c.settle(Nanos::from_secs(2));
+
+    // Warm the cache with both holders.
+    let warm = c.add_client(
+        vec![ClientOp::Open { path: "/data/f".into(), write: false }],
+        Nanos::ZERO,
+    );
+    c.start_node(warm);
+    c.net.run_for(Nanos::from_secs(5));
+    let first_server = c.client_results(warm)[0].server.clone().unwrap();
+    let first_idx: usize = first_server.strip_prefix("srv-").unwrap().parse().unwrap();
+
+    // Delete the file from the server the cache will vector to next...
+    // with round-robin the next pick is the *other* holder, so delete
+    // from both and reseed only one to force a stale redirect.
+    let other_idx = if first_idx == 1 { 3 } else { 1 };
+    c.with_server(other_idx, |s| s.fs_mut().remove("/data/f"));
+
+    let client = c.add_client(
+        vec![ClientOp::Open { path: "/data/f".into(), write: false }],
+        Nanos::ZERO,
+    );
+    c.start_node(client);
+    c.net.run_for(Nanos::from_secs(30));
+    let r = c.client_results(client);
+    assert_eq!(r[0].outcome, OpOutcome::Ok, "recovery must find the survivor");
+    assert_eq!(r[0].server.as_deref(), Some(first_server.as_str()));
+    if r[0].refreshes > 0 {
+        // The stale redirect happened and §III-C1 recovery kicked in.
+        assert!(r[0].redirects >= 2);
+    }
+}
+
+#[test]
+fn prepare_overlaps_staging_delays() {
+    // k MSS files, staging 3 s each. Without prepare the client pays ~3 s
+    // per file sequentially; with prepare the stagings overlap.
+    let k = 4usize;
+    let paths: Vec<String> = (0..k).map(|i| format!("/mss/f{i}")).collect();
+
+    let run = |prepare: bool| -> Nanos {
+        let mut c = SimCluster::build(fixed_cfg(8));
+        for (i, p) in paths.iter().enumerate() {
+            c.seed_file(i, p, 64, false);
+        }
+        c.settle(Nanos::from_secs(2));
+        let mut ops = Vec::new();
+        if prepare {
+            ops.push(ClientOp::Prepare { paths: paths.clone() });
+            // Give the background stagings time to run.
+            ops.push(ClientOp::Sleep { duration: Nanos::from_secs(5) });
+        }
+        for p in &paths {
+            ops.push(ClientOp::OpenRead { path: p.clone(), len: 16 });
+        }
+        let client = c.add_client(ops, Nanos::ZERO);
+        c.start_node(client);
+        c.net.run_for(Nanos::from_secs(120));
+        let rs = c.client_results(client);
+        assert!(rs.iter().all(|r| r.outcome == OpOutcome::Ok), "{rs:?}");
+        let start = rs.first().unwrap().start;
+        let end = rs.last().unwrap().end;
+        end.since(start)
+    };
+
+    let without = run(false);
+    let with = run(true);
+    assert!(
+        with < without,
+        "prepare must overlap staging: with={with} without={without}"
+    );
+    // Sequential staging costs ~k * 3 s; prepared costs ~one staging delay
+    // plus the 5 s sleep.
+    assert!(without >= Nanos::from_secs(3 * k as u64));
+    assert!(with < Nanos::from_secs(3 * k as u64));
+}
+
+#[test]
+fn write_creation_pays_one_full_delay_then_allocates() {
+    let mut c = SimCluster::build(fixed_cfg(8));
+    c.settle(Nanos::from_secs(2));
+    let client = c.add_client(
+        vec![ClientOp::Create {
+            path: "/out/new.root".into(),
+            data: bytes::Bytes::from_static(b"payload"),
+        }],
+        Nanos::ZERO,
+    );
+    c.start_node(client);
+    c.net.run_for(Nanos::from_secs(30));
+    let r = c.client_results(client);
+    assert_eq!(r[0].outcome, OpOutcome::Ok);
+    // One full delay (5 s) to prove non-existence, then allocation.
+    assert!(r[0].latency() >= Nanos::from_secs(5), "{}", r[0].latency());
+    assert!(r[0].latency() < Nanos::from_secs(11), "{}", r[0].latency());
+    // The file landed on exactly one server.
+    let holders = (0..8)
+        .filter(|&i| c.with_server(i, |s| s.fs().get("/out/new.root").is_some()))
+        .count();
+    assert_eq!(holders, 1);
+}
+
+#[test]
+fn determinism_identical_seeds_identical_latencies() {
+    let run = || {
+        let mut cfg = ClusterConfig::flat(6);
+        cfg.seed = 99;
+        let mut c = SimCluster::build(cfg);
+        c.seed_file(2, "/d/f", 1, true);
+        c.settle(Nanos::from_secs(2));
+        let client = c.add_client(
+            vec![ClientOp::Open { path: "/d/f".into(), write: false }],
+            Nanos::ZERO,
+        );
+        c.start_node(client);
+        c.net.run_for(Nanos::from_secs(10));
+        c.client_results(client)[0].latency()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn stat_walks_to_server_and_reports_metadata() {
+    let mut c = SimCluster::build(fixed_cfg(4));
+    c.seed_file(2, "/meta/f", 12345, true);
+    c.seed_file(3, "/meta/off", 777, false);
+    c.settle(Nanos::from_secs(2));
+    let client = c.add_client(
+        vec![
+            ClientOp::Stat { path: "/meta/f".into() },
+            ClientOp::Stat { path: "/meta/off".into() },
+        ],
+        Nanos::ZERO,
+    );
+    c.start_node(client);
+    c.net.run_for(Nanos::from_secs(60));
+    let r = c.client_results(client);
+    assert_eq!(r[0].outcome, OpOutcome::Ok);
+    assert_eq!(r[0].server.as_deref(), Some("srv-2"));
+    // Stat of an MSS-resident file: the open side waits for staging, so
+    // it eventually succeeds too (after the 3 s staging delay).
+    assert_eq!(r[1].outcome, OpOutcome::Ok, "{r:?}");
+    assert!(r[1].latency() >= Nanos::from_secs(3));
+}
+
+#[test]
+fn read_returns_exactly_the_available_bytes() {
+    let mut c = SimCluster::build(fixed_cfg(2));
+    c.seed_file(0, "/data/small", 100, true);
+    c.settle(Nanos::from_secs(2));
+    let client = c.add_client(
+        vec![ClientOp::OpenRead { path: "/data/small".into(), len: 4096 }],
+        Nanos::ZERO,
+    );
+    c.start_node(client);
+    c.net.run_for(Nanos::from_secs(10));
+    let r = c.client_results(client);
+    assert_eq!(r[0].outcome, OpOutcome::Ok, "short read at EOF is not an error");
+}
+
+#[test]
+fn concurrent_cold_opens_share_one_query_flood() {
+    // Deadline synchronization (§III-C2): many clients racing on the same
+    // cold file must produce one locate flood, not one per client.
+    let mut c = SimCluster::build(fixed_cfg(8));
+    c.seed_file(5, "/hot/f", 1, true);
+    c.settle(Nanos::from_secs(2));
+    let mut clients = Vec::new();
+    for i in 0..16 {
+        let cl = c.add_client(
+            vec![ClientOp::Open { path: "/hot/f".into(), write: false }],
+            Nanos::from_micros(i), // nearly simultaneous
+        );
+        c.start_node(cl);
+        clients.push(cl);
+    }
+    c.net.run_for(Nanos::from_secs(10));
+    for cl in clients {
+        assert_eq!(c.client_results(cl)[0].outcome, OpOutcome::Ok);
+    }
+    // Exactly one location object was created and one flood issued: the
+    // other 15 racing clients parked on the fast response queue behind the
+    // object's processing deadline.
+    let mgr = c.managers[0];
+    let (creates, misses, queued, fast) = c.with_cmsd(mgr, |n| {
+        let s = n.cache().stats();
+        use scalla::cache::CacheStats as S;
+        (S::get(&s.creates), S::get(&s.misses), S::get(&s.queued_waiters), S::get(&s.fast_releases))
+    });
+    assert_eq!(creates, 1, "one location object for the shared file");
+    assert_eq!(misses, 1, "only the first racer misses");
+    assert!(queued >= 15, "the other racers must queue, got {queued}");
+    assert_eq!(fast, queued, "every queued racer released by the one Have");
+}
+
+#[test]
+fn least_load_policy_steers_around_busy_server() {
+    // §II-B3 end-to-end: a server's load (its open-handle count) flows up
+    // via heartbeats and the LeastLoad policy steers new opens away.
+    let mut cfg = fixed_cfg(2);
+    cfg.policy = SelectionPolicy::LeastLoad;
+    cfg.heartbeat = Nanos::from_millis(200);
+    let mut c = SimCluster::build(cfg);
+    c.seed_file(0, "/ll/f", 1, true);
+    c.seed_file(1, "/ll/f", 1, true);
+    c.settle(Nanos::from_secs(2));
+
+    // A "hog" client opens 10 handles on srv-0 and never closes them, so
+    // srv-0's heartbeat reports load 10.
+    let srv0 = c.servers[0];
+    for h in 0..10u64 {
+        c.net.inject(
+            Addr(7_000 + h),
+            srv0,
+            ClientMsg::Open { path: "/ll/f".into(), write: false, refresh: false, avoid: None }
+                .into(),
+        );
+    }
+    c.net.run_for(Nanos::from_secs(2)); // heartbeats carry the load up
+
+    // Warm the cache (the cold open is released by whichever server
+    // responds first, bypassing policy — §III-B1), then every policy-
+    // driven open must pick the idle srv-1.
+    let client = c.add_client(
+        (0..5)
+            .map(|_| ClientOp::Open { path: "/ll/f".into(), write: false })
+            .collect(),
+        Nanos::ZERO,
+    );
+    c.start_node(client);
+    c.net.run_for(Nanos::from_secs(20));
+    let r = c.client_results(client);
+    assert!(r.iter().all(|x| x.outcome == OpOutcome::Ok), "{r:?}");
+    for x in &r[1..] {
+        assert_eq!(x.server.as_deref(), Some("srv-1"), "{r:?}");
+    }
+}

@@ -1,0 +1,80 @@
+//! Large-scale soak: a 4 096-server, three-level tree under sustained
+//! mixed load with failures injected mid-run. Run explicitly with
+//! `cargo test --test soak -- --ignored` (it takes tens of seconds).
+
+use scalla::prelude::*;
+use scalla::sim::{summarize, workload, ClusterConfig, WorkloadConfig};
+
+#[test]
+#[ignore = "large: run with --ignored"]
+fn four_thousand_servers_under_load_with_failures() {
+    let mut cfg = ClusterConfig::flat(4096);
+    cfg.fanout = 64; // 64 supervisors x 64 servers
+    cfg.latency = LatencyModel::lan();
+    cfg.heartbeat = Nanos::from_secs(5); // keep background traffic sane
+    let mut c = SimCluster::build(cfg);
+    assert_eq!(c.spec.depth(), 2);
+
+    // 20 000-file catalog, 2 replicas each.
+    let catalog = workload::make_catalog(20_000, "soak");
+    let placement = workload::place_catalog(catalog.len(), 4096, 2, 1);
+    for (i, homes) in placement.iter().enumerate() {
+        for &s in homes {
+            c.seed_file(s, &catalog[i], 1 << 16, true);
+        }
+    }
+    c.settle(Nanos::from_secs(10));
+
+    // 64 analysis jobs.
+    let mut clients = Vec::new();
+    for j in 0..64u64 {
+        let wl = WorkloadConfig {
+            files_per_job: 16,
+            metadata_ops_per_file: 1,
+            think: Nanos::from_millis(5),
+            seed: j,
+        };
+        let ops = workload::analysis_job(&catalog, &wl);
+        let a = c.add_client_with(|cc| {
+            cc.ops = ops.clone();
+            cc.start_delay = Nanos::from_millis(j * 7);
+            cc.request_timeout = Nanos::from_secs(10);
+            cc.max_refreshes = 5;
+        });
+        c.start_node(a);
+        clients.push(a);
+    }
+
+    // Let load build, then kill 40 random-ish servers and one supervisor.
+    c.net.run_for(Nanos::from_secs(5));
+    for k in 0..40 {
+        let idx = (k * 97) % 4096;
+        let addr = c.servers[idx];
+        c.net.kill(addr);
+    }
+    let sup = c.supervisors[3];
+    c.net.kill(sup);
+    c.net.run_for(Nanos::from_secs(120));
+
+    let mut all = Vec::new();
+    for a in clients {
+        all.extend(c.client_results(a));
+    }
+    let s = summarize(&all);
+    let total = s.ok + s.not_found + s.failed;
+    assert_eq!(total, 64 * 32, "every op must terminate, got {total}");
+    // With 2 replicas, a 1%-server + one-supervisor kill must leave the
+    // overwhelming majority of operations successful.
+    assert!(
+        s.ok as f64 / total as f64 > 0.95,
+        "too many casualties: {}",
+        s.row()
+    );
+
+    // Manager health: cache stayed bounded and hits dominated.
+    let mgr = c.managers[0];
+    let snap = c.with_cmsd(mgr, |n| n.cache().stats().snapshot());
+    assert!(snap.hit_ratio() > 0.3, "hit ratio {:.2}", snap.hit_ratio());
+    let len = c.with_cmsd(mgr, |n| n.cache().len());
+    assert!(len <= 20_000 + 64, "cache bounded by requested set, got {len}");
+}

@@ -1,0 +1,65 @@
+//! Full cluster over real TCP sockets: logins, locate floods, redirects,
+//! and file I/O all cross the wire through the binary codec.
+
+use scalla::cache::CacheConfig;
+use scalla::client::{ClientConfig, ClientNode, ClientOp, Directory, OpOutcome};
+use scalla::node::{CmsdConfig, CmsdNode, ServerConfig, ServerNode};
+use scalla::prelude::*;
+use scalla::sim::TcpNet;
+use std::sync::Arc;
+
+#[test]
+fn tcp_cluster_end_to_end() {
+    let mut net = TcpNet::new().expect("bind localhost");
+    let clock = net.clock();
+    let directory = Arc::new(Directory::new());
+
+    let mut mgr_cfg = CmsdConfig::manager("mgr");
+    mgr_cfg.cache = CacheConfig { full_delay: Nanos::from_millis(500), ..CacheConfig::default() };
+    mgr_cfg.heartbeat = Nanos::from_millis(200);
+    let manager = net.add_node(Box::new(CmsdNode::new(mgr_cfg, clock))).unwrap();
+    directory.register("mgr", manager);
+
+    for i in 0..3 {
+        let name = format!("srv-{i}");
+        let mut cfg = ServerConfig::new(&name, manager);
+        cfg.heartbeat = Nanos::from_millis(200);
+        let mut node = ServerNode::new(cfg);
+        if i == 1 {
+            node.fs_mut().put_online("/tcp/hello", 256);
+        }
+        let addr = net.add_node(Box::new(node)).unwrap();
+        directory.register(&name, addr);
+    }
+
+    let ops = vec![
+        ClientOp::OpenRead { path: "/tcp/hello".into(), len: 64 },
+        ClientOp::OpenRead { path: "/tcp/hello".into(), len: 64 },
+        ClientOp::Open { path: "/tcp/ghost".into(), write: false },
+    ];
+    let mut ccfg = ClientConfig::new(manager, directory, ops);
+    ccfg.start_delay = Nanos::from_millis(800);
+    ccfg.request_timeout = Nanos::from_secs(5);
+    let client = net.add_node(Box::new(ClientNode::new(ccfg))).unwrap();
+
+    net.start();
+    std::thread::sleep(std::time::Duration::from_secs(4));
+    let mut nodes = net.shutdown();
+    let results = nodes[client.0 as usize]
+        .as_any_mut()
+        .unwrap()
+        .downcast_ref::<ClientNode>()
+        .unwrap()
+        .results()
+        .to_vec();
+    assert_eq!(results.len(), 3, "all ops must terminate: {results:?}");
+    assert_eq!(results[0].outcome, OpOutcome::Ok, "{results:?}");
+    assert_eq!(results[0].server.as_deref(), Some("srv-1"));
+    assert_eq!(results[1].outcome, OpOutcome::Ok);
+    assert!(
+        results[1].latency() <= results[0].latency(),
+        "warm open can't be slower than cold: {results:?}"
+    );
+    assert_eq!(results[2].outcome, OpOutcome::NotFound);
+    assert!(results[2].latency() >= Nanos::from_millis(500), "full delay over TCP");
+}
