@@ -12,8 +12,8 @@
 
 use bench::{ns, ok_latency_hist, run_ops, table};
 use scalla_client::{ClientOp, OpOutcome};
-use scalla_simnet::LatencyModel;
 use scalla_sim::{ClusterConfig, SimCluster};
+use scalla_simnet::LatencyModel;
 use scalla_util::Nanos;
 
 fn run(link: Nanos) -> (Nanos, u64, usize) {

@@ -72,11 +72,7 @@ fn main() {
     let mut rows = Vec::new();
     for &alpha in &[0.0f64, 0.8, 1.1, 1.5] {
         let (touched, cached) = run(1_000_000, alpha, 100);
-        rows.push(vec![
-            format!("{alpha:.1}"),
-            touched.to_string(),
-            cached.to_string(),
-        ]);
+        rows.push(vec![format!("{alpha:.1}"), touched.to_string(), cached.to_string()]);
     }
     table(
         "popularity sweep (1M-file namespace, 100 req/s)",

@@ -10,10 +10,10 @@
 //!    inverted into a single-node transaction ceiling.
 
 use bench::table;
-use scalla_client::{ClientOp, OpOutcome};
 use scalla_cache::{AccessMode, CacheConfig, NameCache, Resolution, Waiter};
-use scalla_simnet::LatencyModel;
+use scalla_client::{ClientOp, OpOutcome};
 use scalla_sim::{ClusterConfig, SimCluster};
+use scalla_simnet::LatencyModel;
 use scalla_util::{Nanos, ServerSet, SystemClock};
 use std::sync::Arc;
 use std::time::Instant;
@@ -32,7 +32,10 @@ fn cluster_throughput(n_clients: usize) -> (u64, f64) {
     let mut clients = Vec::new();
     for c in 0..n_clients {
         let ops: Vec<ClientOp> = (0..ops_per_client)
-            .map(|k| ClientOp::Open { path: format!("/tp/f{}", (c * 13 + k * 7) % files), write: false })
+            .map(|k| ClientOp::Open {
+                path: format!("/tp/f{}", (c * 13 + k * 7) % files),
+                write: false,
+            })
             .collect();
         let a = cluster.add_client(ops, Nanos::from_micros(c as u64));
         cluster.start_node(a);
@@ -62,11 +65,7 @@ fn main() {
     let mut rows = Vec::new();
     for &n in &[16usize, 64, 256, 1024] {
         let (ok, tps) = cluster_throughput(n);
-        rows.push(vec![
-            n.to_string(),
-            ok.to_string(),
-            format!("{:.0}", tps),
-        ]);
+        rows.push(vec![n.to_string(), ok.to_string(), format!("{:.0}", tps)]);
     }
     table(
         "simulated cluster: 64 servers, warm opens, 50 ops/client",

@@ -12,8 +12,8 @@
 
 use bench::table;
 use scalla_client::{ClientOp, OpOutcome};
-use scalla_simnet::LatencyModel;
 use scalla_sim::{ClusterConfig, SimCluster};
+use scalla_simnet::LatencyModel;
 use scalla_util::Nanos;
 
 const N: usize = 16;
@@ -31,10 +31,8 @@ fn measure(k: usize) -> u64 {
     }
     cluster.settle(Nanos::from_secs(2));
     let before = cluster.net.stats().delivered;
-    let client = cluster.add_client(
-        vec![ClientOp::Open { path: "/rr/f".into(), write: false }],
-        Nanos::ZERO,
-    );
+    let client = cluster
+        .add_client(vec![ClientOp::Open { path: "/rr/f".into(), write: false }], Nanos::ZERO);
     cluster.start_node(client);
     cluster.net.run_for(Nanos::from_secs(30));
     let r = cluster.client_results(client);
@@ -53,7 +51,7 @@ fn main() {
     for &k in &[1usize, 2, 4, 8, 12, 16] {
         let total = measure(k);
         let rrr_resolution = total - walk; // flood + positive responses
-        // Always-respond: same flood (N locates) + N responses.
+                                           // Always-respond: same flood (N locates) + N responses.
         let always = (N + N) as u64;
         rows.push(vec![
             format!("{k}/{N}"),

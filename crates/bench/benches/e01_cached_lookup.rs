@@ -61,9 +61,7 @@ fn sim_depth(depth_servers: usize, fanout: usize) -> (usize, Nanos, u32) {
     let results = run_ops(&mut cluster, ops, Nanos::from_secs(60));
     assert!(results.iter().all(|r| r.outcome == OpOutcome::Ok));
     let warm = &results[1..];
-    let mean = Nanos(
-        warm.iter().map(|r| r.latency().0).sum::<u64>() / warm.len() as u64,
-    );
+    let mean = Nanos(warm.iter().map(|r| r.latency().0).sum::<u64>() / warm.len() as u64);
     (cluster.spec.depth(), mean, warm[0].redirects)
 }
 
@@ -71,9 +69,7 @@ fn main() {
     println!("E1: cached look-up latency per tree level (paper: < 50 us/level)");
 
     let (algo, with_fmt) = real_hit_path_cost();
-    println!(
-        "\ncmsd cache hit path (real time): {algo}/fetch (incl. key formatting: {with_fmt})"
-    );
+    println!("\ncmsd cache hit path (real time): {algo}/fetch (incl. key formatting: {with_fmt})");
 
     let mut rows = Vec::new();
     let mut prev: Option<Nanos> = None;

@@ -8,8 +8,8 @@
 
 use bench::{ns, run_ops, table};
 use scalla_client::{ClientOp, OpOutcome};
-use scalla_simnet::LatencyModel;
 use scalla_sim::{ClusterConfig, SimCluster};
+use scalla_simnet::LatencyModel;
 use scalla_util::Nanos;
 
 fn measure(link_us: u64) -> (Nanos, Nanos) {

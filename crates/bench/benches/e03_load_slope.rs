@@ -118,7 +118,12 @@ fn main() {
         let lambda = kops as f64 * 1e3;
         let rho = lambda * s;
         if rho >= 1.0 {
-            rows.push(vec![format!("{kops}k/s"), format!("{:.1}%", rho * 100.0), "saturated".into(), "-".into()]);
+            rows.push(vec![
+                format!("{kops}k/s"),
+                format!("{:.1}%", rho * 100.0),
+                "saturated".into(),
+                "-".into(),
+            ]);
             continue;
         }
         let resp_ns = (s + s * rho / (2.0 * (1.0 - rho))) * 1e9;

@@ -81,7 +81,14 @@ fn main() {
     }
     table(
         "steady-state tick cost vs cache size",
-        &["entries", "scanned/tick", "% of cache", "tick (hide)", "collect (bg)", "lookup during churn"],
+        &[
+            "entries",
+            "scanned/tick",
+            "% of cache",
+            "tick (hide)",
+            "collect (bg)",
+            "lookup during churn",
+        ],
         &rows,
     );
     println!(

@@ -10,8 +10,8 @@
 use bench::{ns, ok_latency_hist, run_ops, table};
 use scalla_baseline::no_fast_queue_config;
 use scalla_client::{ClientOp, OpOutcome};
-use scalla_simnet::LatencyModel;
 use scalla_sim::{ClusterConfig, SimCluster};
+use scalla_simnet::LatencyModel;
 use scalla_util::Nanos;
 
 fn run(fast_queue: bool) -> (Nanos, Nanos, Nanos, u64) {
@@ -27,9 +27,8 @@ fn run(fast_queue: bool) -> (Nanos, Nanos, Nanos, u64) {
         cluster.seed_file(i % 16, &format!("/d/f{i}"), 1, true);
     }
     cluster.settle(Nanos::from_secs(2));
-    let ops: Vec<ClientOp> = (0..n_files)
-        .map(|i| ClientOp::Open { path: format!("/d/f{i}"), write: false })
-        .collect();
+    let ops: Vec<ClientOp> =
+        (0..n_files).map(|i| ClientOp::Open { path: format!("/d/f{i}"), write: false }).collect();
     let results = run_ops(&mut cluster, ops, Nanos::from_secs(600));
     assert!(results.iter().all(|r| r.outcome == OpOutcome::Ok), "{results:?}");
     let hist = ok_latency_hist(&results);
@@ -52,12 +51,7 @@ fn main() {
             vec!["no fast queue".into(), ns(smean), ns(sp50), ns(smax), swaits.to_string()],
         ],
     );
-    println!(
-        "\nspeedup: {:.0}x mean ({} -> {})",
-        smean.0 as f64 / fmean.0 as f64,
-        smean,
-        fmean
-    );
+    println!("\nspeedup: {:.0}x mean ({} -> {})", smean.0 as f64 / fmean.0 as f64, smean, fmean);
     println!(
         "\npaper shape: with the queue, a positive server response releases the\n\
          client in ~hundreds of microseconds and no full 5 s wait is ever paid\n\

@@ -71,7 +71,14 @@ fn main() {
     }
     table(
         "one server joining (2 export prefixes vs full manifest)",
-        &["files on server", "scalla bytes", "scalla ready", "manifest bytes", "manifest ready", "ready ratio"],
+        &[
+            "files on server",
+            "scalla bytes",
+            "scalla ready",
+            "manifest bytes",
+            "manifest ready",
+            "ready ratio",
+        ],
         &rows,
     );
     println!(

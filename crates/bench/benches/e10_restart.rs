@@ -8,10 +8,10 @@
 //! where the master cannot serve until manifests are ingested.
 
 use bench::table;
-use scalla_client::{ClientConfig, ClientNode, ClientOp, OpOutcome};
-use scalla_client::Directory;
-use scalla_node::{JoinStyle, ServerConfig, ServerNode};
 use scalla_baseline::{GfsMasterConfig, GfsMasterNode};
+use scalla_client::Directory;
+use scalla_client::{ClientConfig, ClientNode, ClientOp, OpOutcome};
+use scalla_node::{JoinStyle, ServerConfig, ServerNode};
 use scalla_simnet::{LatencyModel, SimNet};
 use scalla_util::Nanos;
 use std::sync::Arc;
@@ -27,10 +27,7 @@ fn probing_ops(path: &str, attempts: usize) -> Vec<ClientOp> {
 }
 
 fn first_ok(results: &[scalla_client::OpResult]) -> Option<Nanos> {
-    results
-        .iter()
-        .find(|r| r.outcome == OpOutcome::Ok && r.path != "<sleep>")
-        .map(|r| r.end)
+    results.iter().find(|r| r.outcome == OpOutcome::Ok && r.path != "<sleep>").map(|r| r.end)
 }
 
 fn scalla_restart(n_servers: usize, _files_per_server: usize) -> Option<Nanos> {

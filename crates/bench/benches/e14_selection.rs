@@ -10,8 +10,8 @@
 use bench::{run_ops, table};
 use scalla_client::{ClientOp, OpOutcome};
 use scalla_cluster::SelectionPolicy;
-use scalla_simnet::LatencyModel;
 use scalla_sim::{ClusterConfig, SimCluster};
+use scalla_simnet::LatencyModel;
 use scalla_util::Nanos;
 use std::collections::HashMap;
 
@@ -95,7 +95,14 @@ fn main() {
     }
     table(
         &format!("{OPENS} opens of a file replicated on 8 of 16 servers"),
-        &["policy", "replicas used", "min/replica", "max/replica", "srv-0 (loaded)", "srv-14 (most space)"],
+        &[
+            "policy",
+            "replicas used",
+            "min/replica",
+            "max/replica",
+            "srv-0 (loaded)",
+            "srv-14 (most space)",
+        ],
         &rows,
     );
     println!(

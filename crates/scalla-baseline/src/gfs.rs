@@ -77,9 +77,10 @@ impl GfsMasterNode {
 
     /// Modeled delay to ingest a manifest of `n` files.
     pub fn ingest_delay(&self, n: usize) -> Nanos {
-        let transfer =
-            Nanos((n as u64 * self.cfg.bytes_per_entry).saturating_mul(1_000_000_000)
-                / self.cfg.manifest_bandwidth.max(1));
+        let transfer = Nanos(
+            (n as u64 * self.cfg.bytes_per_entry).saturating_mul(1_000_000_000)
+                / self.cfg.manifest_bandwidth.max(1),
+        );
         self.cfg.per_file_ingest.mul(n as u64) + transfer
     }
 
@@ -182,11 +183,8 @@ mod tests {
     use scalla_simnet::{LatencyModel, SimNet};
 
     fn manifest(name: &str, files: &[&str]) -> Msg {
-        CmsMsg::Manifest {
-            name: name.into(),
-            files: files.iter().map(|s| s.to_string()).collect(),
-        }
-        .into()
+        CmsMsg::Manifest { name: name.into(), files: files.iter().map(|s| s.to_string()).collect() }
+            .into()
     }
 
     fn open(path: &str, write: bool) -> Msg {
@@ -219,12 +217,7 @@ mod tests {
         net.run_for(Nanos::from_secs(1));
         net.inject(Addr(99), master, open("/data/f1", false));
         net.run_for(Nanos::from_secs(1));
-        let m = net
-            .node_mut(master)
-            .as_any_mut()
-            .unwrap()
-            .downcast_ref::<GfsMasterNode>()
-            .unwrap();
+        let m = net.node_mut(master).as_any_mut().unwrap().downcast_ref::<GfsMasterNode>().unwrap();
         assert!(m.is_ready("srv-a"));
         assert_eq!(m.files_known(), 1);
         assert_eq!(m.entries_ingested, 1);
@@ -245,12 +238,7 @@ mod tests {
         net.run_for(Nanos::from_secs(2)); // covers ingest
         net.inject(Addr(99), master, open("/data/f1", false));
         net.run_for(Nanos::from_millis(1));
-        let m = net
-            .node_mut(master)
-            .as_any_mut()
-            .unwrap()
-            .downcast_ref::<GfsMasterNode>()
-            .unwrap();
+        let m = net.node_mut(master).as_any_mut().unwrap().downcast_ref::<GfsMasterNode>().unwrap();
         assert_eq!(m.files_known(), 1);
         assert!(m.is_ready("srv-a"));
     }
@@ -296,12 +284,7 @@ mod tests {
         net.inject(Addr(99), master, open("/new1", true));
         net.inject(Addr(99), master, open("/new2", true));
         net.run_for(Nanos::from_secs(1));
-        let m = net
-            .node_mut(master)
-            .as_any_mut()
-            .unwrap()
-            .downcast_ref::<GfsMasterNode>()
-            .unwrap();
+        let m = net.node_mut(master).as_any_mut().unwrap().downcast_ref::<GfsMasterNode>().unwrap();
         assert_eq!(m.files_known(), 2, "allocations recorded in the map");
     }
 }

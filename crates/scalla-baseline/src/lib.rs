@@ -46,12 +46,7 @@ mod tests {
         let clock = Arc::new(VirtualClock::new());
         let cfg = no_fast_queue_config(CacheConfig::for_tests());
         let cache = NameCache::new(cfg, clock);
-        let out = cache.resolve(
-            "/f",
-            ServerSet::first_n(2),
-            AccessMode::Read,
-            Waiter::new(1, 0),
-        );
+        let out = cache.resolve("/f", ServerSet::first_n(2), AccessMode::Read, Waiter::new(1, 0));
         assert_eq!(
             out.resolution,
             Resolution::WaitRetry { delay: Nanos::from_secs(5) },

@@ -18,20 +18,39 @@
 //! Deadline-based synchronization (§III-C2) ensures only one thread floods
 //! queries per object; everyone else parks on the fast response queue.
 //!
-//! Locking follows the paper's loose coupling: the cache interior and the
-//! response queue have independent locks, always acquired in the order
-//! *cache → response queue*, and every cross-reference is validated on use
-//! so neither side ever needs the other's lock to make progress.
+//! # Locking
+//!
+//! The cache interior is split into [`CacheConfig::shards`] independently
+//! locked shards. Each shard owns a complete interior — slab, hash table,
+//! window ring, correction memo, and pending-removal list — and a look-up
+//! locks exactly one shard, selected from the high bits of the name's
+//! CRC-32 key, so resolutions for different shards never contend. Two
+//! structures are shared across shards:
+//!
+//! * the connect log (`C[]`, `N_c`) sits behind a read-mostly `RwLock` —
+//!   corrections take the read side; only `note_connect` (login time)
+//!   writes. The per-window correction memo lives *per shard*, mutated
+//!   under the shard lock, and self-validates against the log's `N_c`.
+//! * the fast response queue keeps its own independent lock, exactly as in
+//!   the paper's loose coupling; the lock order is always *shard →
+//!   response queue*, and every cross-reference is validated on use so
+//!   neither side ever needs the other's lock to make progress. No code
+//!   path ever holds two shard locks at once.
+//!
+//! A [`LocRef`] carries its shard index, so authenticator-validated
+//! follow-ups ([`NameCache::requeue`]) go straight to the owning shard in
+//! O(1) without re-hashing the name. `shards = 1` reproduces the original
+//! single-lock layout bit for bit.
 
-use crate::config::CacheConfig;
-use crate::correct::{ConnectLog, CorrectionKind};
+use crate::config::{CacheConfig, MAX_SHARDS};
+use crate::correct::{ConnectLog, CorrectionKind, CorrectionMemo};
 use crate::loc::{AccessMode, LocState};
 use crate::respq::{RespQueue, Waiter};
 use crate::slab::{LocRef, LocSlab, RespRef};
 use crate::stats::CacheStats;
 use crate::table::HashTable;
 use crate::window::{TickOutcome, WindowRing};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use scalla_util::{crc32, Clock, Nanos, ServerId, ServerSet};
 use std::sync::Arc;
 
@@ -75,18 +94,23 @@ pub struct ResolveOutcome {
     pub locref: LocRef,
 }
 
-struct Inner {
+/// One independently locked slice of the cache interior.
+struct Shard {
     slab: LocSlab,
     table: HashTable,
     windows: WindowRing,
-    connects: ConnectLog,
+    /// Per-shard window memo for fetch-time corrections; validates itself
+    /// against the shared connect log's `N_c`.
+    memo: CorrectionMemo,
     /// Hidden entries awaiting background physical removal.
     pending_removal: Vec<u32>,
 }
 
 /// The cmsd file-location cache.
 pub struct NameCache {
-    inner: Mutex<Inner>,
+    shards: Box<[Mutex<Shard>]>,
+    /// Shared read-mostly connect log (`C[]`, `N_c`).
+    connects: RwLock<ConnectLog>,
     respq: Mutex<RespQueue>,
     clock: Arc<dyn Clock>,
     config: CacheConfig,
@@ -96,14 +120,22 @@ pub struct NameCache {
 impl NameCache {
     /// Creates a cache with the given configuration and time source.
     pub fn new(config: CacheConfig, clock: Arc<dyn Clock>) -> NameCache {
+        let n = config.shards.clamp(1, MAX_SHARDS);
+        let shards = (0..n)
+            .map(|i| {
+                Mutex::new(Shard {
+                    slab: LocSlab::for_shard(i as u16),
+                    table: HashTable::new(config.initial_table_size, config.max_load_percent),
+                    windows: WindowRing::new(),
+                    memo: CorrectionMemo::new(),
+                    pending_removal: Vec::new(),
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
         NameCache {
-            inner: Mutex::new(Inner {
-                slab: LocSlab::new(),
-                table: HashTable::new(config.initial_table_size, config.max_load_percent),
-                windows: WindowRing::new(),
-                connects: ConnectLog::new(),
-                pending_removal: Vec::new(),
-            }),
+            shards,
+            connects: RwLock::new(ConnectLog::new()),
             respq: Mutex::new(RespQueue::new(config.response_anchors, config.fast_window)),
             clock,
             config,
@@ -121,15 +153,36 @@ impl NameCache {
         &self.stats
     }
 
+    /// Number of shards actually in use (the configured value, clamped).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard `path` maps to — the high bits of its CRC-32 key,
+    /// generalized to any shard count by a multiply-shift. Diagnostics and
+    /// tests; the resolution paths compute this inline.
+    pub fn shard_of(&self, path: &str) -> usize {
+        self.shard_for(crc32(path.as_bytes()))
+    }
+
+    #[inline]
+    fn shard_for(&self, hash: u32) -> usize {
+        // High-bits selection: for a power-of-two count n this is exactly
+        // `hash >> (32 - log2 n)`; the multiply-shift form works for any n.
+        // The hash table chains on the low bits (modulo a Fibonacci bucket
+        // count), so shard and bucket selection stay uncorrelated.
+        ((u64::from(hash) * self.shards.len() as u64) >> 32) as usize
+    }
+
     /// Records a server (re)connect in the connect log (`N_c += 1`,
     /// `C[id] := N_c`). Membership calls this at login time.
     pub fn note_connect(&self, id: ServerId) -> u64 {
-        self.inner.lock().connects.note_connect(id)
+        self.connects.write().note_connect(id)
     }
 
     /// Current master connect counter `N_c`.
     pub fn nc(&self) -> u64 {
-        self.inner.lock().connects.nc()
+        self.connects.read().nc()
     }
 
     /// Resolves with default options: no offline servers, nothing avoided,
@@ -169,25 +222,25 @@ impl NameCache {
         let hash = crc32(path.as_bytes());
         CacheStats::bump(&self.stats.lookups);
 
-        let mut inner = self.inner.lock();
-        let found = inner.table.lookup(&inner.slab, path, hash);
+        let mut shard = self.shards[self.shard_for(hash)].lock();
+        let found = shard.table.lookup(&shard.slab, path, hash);
 
         let slot = match found {
             Some(slot) if refresh => {
                 // §III-C1: logically a new un-cached request; fresh V_q,
                 // updated T_a (re-chaining deferred), new deadline.
                 CacheStats::bump(&self.stats.refreshes);
-                let nc = inner.connects.nc();
-                let tw = inner.windows.current();
-                let e = inner.slab.get_mut(slot);
+                let nc = self.connects.read().nc();
+                let tw = shard.windows.current();
+                let e = shard.slab.get_mut(slot);
                 e.state = LocState::all_unknown(vm);
                 e.cn = nc;
                 e.ta = tw;
                 e.deadline = now + self.config.full_delay;
-                let locref = inner.slab.make_ref(slot);
+                let locref = shard.slab.make_ref(slot);
                 let query = vm - offline;
-                inner.slab.get_mut(slot).state.vq = vm & offline; // unreachable now, ask next time
-                let resolution = self.enqueue(&mut inner, slot, mode, waiter, now);
+                shard.slab.get_mut(slot).state.vq = vm & offline; // unreachable now, ask next time
+                let resolution = self.enqueue(&mut shard, slot, mode, waiter, now);
                 return ResolveOutcome { resolution, query, locref };
             }
             Some(slot) => slot,
@@ -198,39 +251,44 @@ impl NameCache {
                 if refresh {
                     CacheStats::bump(&self.stats.refreshes);
                 }
-                let resizes_before = inner.table.resizes();
-                let slot = inner.slab.alloc(path, hash);
-                let nc = inner.connects.nc();
+                let resizes_before = shard.table.resizes();
+                let slot = shard.slab.alloc(path, hash);
+                let nc = self.connects.read().nc();
                 {
-                    let e = inner.slab.get_mut(slot);
+                    let e = shard.slab.get_mut(slot);
                     e.state = LocState::all_unknown(vm);
                     e.cn = nc;
                     e.deadline = now + self.config.full_delay;
                 }
-                let Inner { slab, windows, table, .. } = &mut *inner;
+                let Shard { slab, windows, table, .. } = &mut *shard;
                 windows.chain_now(slab, slot);
                 table.insert(slab, slot);
-                CacheStats::add(&self.stats.resizes, inner.table.resizes() - resizes_before);
+                CacheStats::add(&self.stats.resizes, shard.table.resizes() - resizes_before);
 
-                let locref = inner.slab.make_ref(slot);
+                let locref = shard.slab.make_ref(slot);
                 // Step 5/6: caller queries every reachable eligible server;
                 // unreachable (offline) ones stay in V_q for next time.
                 let query = vm - offline;
-                inner.slab.get_mut(slot).state.vq = vm & offline;
-                let resolution = self.enqueue(&mut inner, slot, mode, waiter, now);
+                shard.slab.get_mut(slot).state.vq = vm & offline;
+                let resolution = self.enqueue(&mut shard, slot, mode, waiter, now);
                 return ResolveOutcome { resolution, query, locref };
             }
         };
 
         // ---- Hit path ----
-        let locref = inner.slab.make_ref(slot);
+        let locref = shard.slab.make_ref(slot);
         let (mut state, mut cn, ta, old_deadline) = {
-            let e = inner.slab.get(slot);
+            let e = shard.slab.get(slot);
             (e.state, e.cn, e.ta, e.deadline)
         };
 
-        // Fetch-time corrections (§III-A4).
-        match inner.connects.correct(&mut state, &mut cn, ta, vm) {
+        // Fetch-time corrections (§III-A4): shared log read-locked, this
+        // shard's memo mutated under the shard lock.
+        let correction = {
+            let log = self.connects.read();
+            log.correct(&mut shard.memo, &mut state, &mut cn, ta, vm)
+        };
+        match correction {
             CorrectionKind::Clean => CacheStats::bump(&self.stats.corrections_clean),
             CorrectionKind::MemoHit => CacheStats::bump(&self.stats.corrections_memo),
             CorrectionKind::Computed => CacheStats::bump(&self.stats.corrections_computed),
@@ -269,33 +327,33 @@ impl NameCache {
 
         // Write back the corrected state.
         {
-            let e = inner.slab.get_mut(slot);
+            let e = shard.slab.get_mut(slot);
             e.state = state;
             e.cn = cn;
             e.deadline = deadline;
         }
 
         let resolution = match resolution {
-            Resolution::Queued => self.enqueue(&mut inner, slot, mode, waiter, now),
+            Resolution::Queued => self.enqueue(&mut shard, slot, mode, waiter, now),
             other => other,
         };
         ResolveOutcome { resolution, query, locref }
     }
 
     /// Parks `waiter` on the fast response queue for `slot` (§III-B step 4).
-    /// Must be called with the cache lock held; takes the response-queue
-    /// lock (lock order: cache → respq).
+    /// Must be called with the owning shard's lock held; takes the
+    /// response-queue lock (lock order: shard → respq).
     fn enqueue(
         &self,
-        inner: &mut Inner,
+        shard: &mut Shard,
         slot: u32,
         mode: AccessMode,
         waiter: Waiter,
         now: Nanos,
     ) -> Resolution {
         let existing = match mode {
-            AccessMode::Read => inner.slab.get(slot).rref,
-            AccessMode::Write => inner.slab.get(slot).wref,
+            AccessMode::Read => shard.slab.get(slot).rref,
+            AccessMode::Write => shard.slab.get(slot).wref,
         };
         let mut respq = self.respq.lock();
         // A severed association (swept anchor) falls through to a new one.
@@ -305,7 +363,7 @@ impl NameCache {
         }
         match respq.open(slot, mode, waiter, now) {
             Ok(r) => {
-                let e = inner.slab.get_mut(slot);
+                let e = shard.slab.get_mut(slot);
                 match mode {
                     AccessMode::Read => e.rref = r,
                     AccessMode::Write => e.wref = r,
@@ -345,8 +403,8 @@ impl NameCache {
         server: ServerId,
         staging: bool,
     ) -> Vec<(Waiter, ServerId)> {
-        let mut inner = self.inner.lock();
-        let slot = match inner.table.lookup(&inner.slab, path, hash) {
+        let mut shard = self.shards[self.shard_for(hash)].lock();
+        let slot = match shard.table.lookup(&shard.slab, path, hash) {
             Some(slot) => slot,
             None => {
                 // Entry expired between query and response: re-cache the
@@ -357,28 +415,30 @@ impl NameCache {
                 // before any negative verdict can be reached. Fetch-time
                 // `V_m` clipping scopes the set to the path (§III-A4).
                 CacheStats::bump(&self.stats.creates);
-                let slot = inner.slab.alloc(path, hash);
-                let everyone = inner.connects.vc_since(0);
-                let nc = inner.connects.nc();
+                let slot = shard.slab.alloc(path, hash);
+                let (everyone, nc) = {
+                    let log = self.connects.read();
+                    (log.vc_since(0), log.nc())
+                };
                 {
-                    let e = inner.slab.get_mut(slot);
+                    let e = shard.slab.get_mut(slot);
                     e.state.vq = everyone;
                     e.cn = nc;
                 }
-                let Inner { slab, windows, table, .. } = &mut *inner;
+                let Shard { slab, windows, table, .. } = &mut *shard;
                 windows.chain_now(slab, slot);
                 table.insert(slab, slot);
                 slot
             }
         };
-        inner.slab.get_mut(slot).state.record_have(server, staging);
+        shard.slab.get_mut(slot).state.record_have(server, staging);
 
         // Release waiters: both access modes are acceptable targets once a
         // server holds the file (selection among modes is the node's
         // concern). Writers are only released by an online holder.
         let mut released = Vec::new();
         let refs: Vec<(AccessMode, RespRef)> = {
-            let e = inner.slab.get(slot);
+            let e = shard.slab.get(slot);
             let mut v = Vec::with_capacity(2);
             if e.rref.is_some() {
                 v.push((AccessMode::Read, e.rref));
@@ -394,7 +454,7 @@ impl NameCache {
                 if let Some(waiters) = respq.satisfy(r, slot) {
                     released.extend(waiters.into_iter().map(|w| (w, server)));
                 }
-                let e = inner.slab.get_mut(slot);
+                let e = shard.slab.get_mut(slot);
                 match mode {
                     AccessMode::Read => e.rref = RespRef::NONE,
                     AccessMode::Write => e.wref = RespRef::NONE,
@@ -406,36 +466,43 @@ impl NameCache {
     }
 
     /// Puts servers that could not be queried back into the object's `V_q`
-    /// (§III-B1 step 6). Validated by the reference authenticator; a stale
-    /// reference falls back to a full look-up, and a vanished entry is
-    /// simply dropped (the client will retry).
+    /// (§III-B1 step 6). The reference's shard index routes straight to the
+    /// owning shard and the authenticator validates the object in O(1); a
+    /// stale reference falls back to a full look-up, and a vanished entry
+    /// is simply dropped (the client will retry).
     pub fn requeue(&self, path: &str, locref: LocRef, servers: ServerSet) {
         if servers.is_empty() {
             return;
         }
-        let mut inner = self.inner.lock();
-        let slot = if inner.slab.is_valid(locref) && inner.slab.get(locref.slot).is_visible() {
-            locref.slot
-        } else {
-            CacheStats::bump(&self.stats.stale_refs);
-            match inner.table.lookup(&inner.slab, path, crc32(path.as_bytes())) {
-                Some(s) => s,
-                None => return,
+        if (locref.shard as usize) < self.shards.len() {
+            let mut shard = self.shards[locref.shard as usize].lock();
+            if shard.slab.is_valid(locref) && shard.slab.get(locref.slot).is_visible() {
+                shard.slab.get_mut(locref.slot).state.requery(servers);
+                return;
             }
-        };
-        inner.slab.get_mut(slot).state.requery(servers);
+        }
+        // Stale (or foreign) reference: re-hash and look the name up in its
+        // owning shard. The fast-path guard above is released by now, so
+        // re-locking the same shard cannot deadlock.
+        CacheStats::bump(&self.stats.stale_refs);
+        let hash = crc32(path.as_bytes());
+        let mut shard = self.shards[self.shard_for(hash)].lock();
+        if let Some(slot) = shard.table.lookup(&shard.slab, path, hash) {
+            shard.slab.get_mut(slot).state.requery(servers);
+        }
     }
 
     /// Reads the current location state of `path`, if cached and visible.
     pub fn peek(&self, path: &str) -> Option<LocState> {
-        let inner = self.inner.lock();
-        let slot = inner.table.lookup(&inner.slab, path, crc32(path.as_bytes()))?;
-        Some(inner.slab.get(slot).state)
+        let hash = crc32(path.as_bytes());
+        let shard = self.shards[self.shard_for(hash)].lock();
+        let slot = shard.table.lookup(&shard.slab, path, hash)?;
+        Some(shard.slab.get(slot).state)
     }
 
     /// The fast-response sweep (the 133 ms thread body). Returns waiters
     /// whose fast window expired; each must be told to wait the full period
-    /// and retry.
+    /// and retry. Touches only the response-queue lock.
     pub fn sweep(&self) -> Vec<Waiter> {
         let now = self.clock.now();
         let timed_out = self.respq.lock().sweep(now);
@@ -445,37 +512,54 @@ impl NameCache {
 
     /// Advances the window clock (`L_t/64` tick thread body): hides the
     /// expiring window, performs deferred re-chaining, queues hidden
-    /// entries for background collection.
+    /// entries for background collection. Every shard's ring is ticked,
+    /// one shard lock at a time; the returned outcome aggregates all
+    /// shards (`expired` slot indices are shard-local, so treat them as a
+    /// count, not as addresses).
     pub fn tick(&self) -> TickOutcome {
-        let mut inner = self.inner.lock();
-        let Inner { slab, windows, .. } = &mut *inner;
-        let out = windows.tick(slab);
-        CacheStats::add(&self.stats.evictions, out.expired.len() as u64);
-        CacheStats::add(&self.stats.rechained, out.rechained as u64);
-        inner.pending_removal.extend_from_slice(&out.expired);
-        out
+        let mut merged = TickOutcome::default();
+        for shard in self.shards.iter() {
+            let mut shard = shard.lock();
+            let Shard { slab, windows, pending_removal, .. } = &mut *shard;
+            let out = windows.tick(slab);
+            pending_removal.extend_from_slice(&out.expired);
+            merged.expired.extend_from_slice(&out.expired);
+            merged.rechained += out.rechained;
+            merged.scanned += out.scanned;
+            merged.new_window = out.new_window;
+        }
+        CacheStats::add(&self.stats.evictions, merged.expired.len() as u64);
+        CacheStats::add(&self.stats.rechained, merged.rechained as u64);
+        merged
     }
 
     /// Background physical removal: unlinks and releases up to `max`
-    /// hidden entries. Returns how many were collected.
+    /// hidden entries across all shards. Returns how many were collected.
     pub fn collect(&self, max: usize) -> usize {
-        let mut inner = self.inner.lock();
-        let n = inner.pending_removal.len().min(max);
-        for _ in 0..n {
-            let slot = inner.pending_removal.pop().expect("counted above");
-            if inner.slab.get(slot).in_use {
-                let Inner { slab, table, .. } = &mut *inner;
-                table.remove(slab, slot);
-                slab.release(slot);
+        let mut collected = 0;
+        for shard in self.shards.iter() {
+            if collected >= max {
+                break;
             }
+            let mut shard = shard.lock();
+            let n = shard.pending_removal.len().min(max - collected);
+            for _ in 0..n {
+                let slot = shard.pending_removal.pop().expect("counted above");
+                if shard.slab.get(slot).in_use {
+                    let Shard { slab, table, .. } = &mut *shard;
+                    table.remove(slab, slot);
+                    slab.release(slot);
+                }
+            }
+            collected += n;
         }
-        CacheStats::add(&self.stats.collected, n as u64);
-        n
+        CacheStats::add(&self.stats.collected, collected as u64);
+        collected
     }
 
     /// Live location objects (visible + hidden-awaiting-collection).
     pub fn len(&self) -> usize {
-        self.inner.lock().slab.live()
+        self.shards.iter().map(|s| s.lock().slab.live()).sum()
     }
 
     /// Whether the cache holds no live objects.
@@ -485,19 +569,29 @@ impl NameCache {
 
     /// Approximate memory footprint (experiment E12).
     pub fn approx_bytes(&self) -> usize {
-        let inner = self.inner.lock();
-        inner.slab.approx_bytes() + inner.table.bucket_count() * std::mem::size_of::<u32>()
+        self.shards
+            .iter()
+            .map(|s| {
+                let shard = s.lock();
+                shard.slab.approx_bytes() + shard.table.bucket_count() * std::mem::size_of::<u32>()
+            })
+            .sum()
     }
 
-    /// Hash-table bucket count (always Fibonacci).
+    /// Total hash-table bucket count across shards (each shard's table is
+    /// always Fibonacci-sized).
     pub fn bucket_count(&self) -> usize {
-        self.inner.lock().table.bucket_count()
+        self.shards.iter().map(|s| s.lock().table.bucket_count()).sum()
     }
 
-    /// Per-bucket chain lengths (experiment E4).
+    /// Per-bucket chain lengths, all shards concatenated (experiment E4).
     pub fn chain_lengths(&self) -> Vec<usize> {
-        let inner = self.inner.lock();
-        inner.table.chain_lengths(&inner.slab)
+        let mut lengths = Vec::new();
+        for shard in self.shards.iter() {
+            let shard = shard.lock();
+            lengths.extend(shard.table.chain_lengths(&shard.slab));
+        }
+        lengths
     }
 }
 
@@ -595,8 +689,13 @@ mod tests {
         cache.update_have("/f", 1, false);
         cache.update_have("/f", 3, false);
         let out = cache.resolve_full(
-            "/f", VM4, ServerSet::EMPTY, AccessMode::Read,
-            Waiter::new(2, 0), ServerSet::single(1), false,
+            "/f",
+            VM4,
+            ServerSet::EMPTY,
+            AccessMode::Read,
+            Waiter::new(2, 0),
+            ServerSet::single(1),
+            false,
         );
         match out.resolution {
             Resolution::Redirect { online, .. } => assert_eq!(online, ServerSet::single(3)),
@@ -612,8 +711,13 @@ mod tests {
         // Server 1 goes offline (disconnected, not dropped).
         clock.advance(Nanos::from_secs(6)); // let the old deadline lapse
         let out = cache.resolve_full(
-            "/f", VM4, ServerSet::single(1), AccessMode::Read,
-            Waiter::new(2, 0), ServerSet::EMPTY, false,
+            "/f",
+            VM4,
+            ServerSet::single(1),
+            AccessMode::Read,
+            Waiter::new(2, 0),
+            ServerSet::EMPTY,
+            false,
         );
         // No online holder: queued, and the offline server sits in V_q for
         // a future look-up (it is unreachable, so not queried now).
@@ -647,8 +751,13 @@ mod tests {
         cache.update_have("/f", 1, false);
         // Client found server 1 broken: refresh, avoiding it.
         let out = cache.resolve_full(
-            "/f", VM4, ServerSet::EMPTY, AccessMode::Read,
-            Waiter::new(2, 0), ServerSet::single(1), true,
+            "/f",
+            VM4,
+            ServerSet::EMPTY,
+            AccessMode::Read,
+            Waiter::new(2, 0),
+            ServerSet::single(1),
+            true,
         );
         assert_eq!(out.resolution, Resolution::Queued);
         assert_eq!(out.query, VM4, "refresh floods all relevant servers");
@@ -661,16 +770,12 @@ mod tests {
         // Test config has 8 anchors; a miss consumes one (read). Fill the
         // rest with distinct files, then overflow.
         for i in 0..8 {
-            let out = cache.resolve(
-                &format!("/f{i}"), VM4, AccessMode::Read, Waiter::new(i as u64, 0),
-            );
+            let out =
+                cache.resolve(&format!("/f{i}"), VM4, AccessMode::Read, Waiter::new(i as u64, 0));
             assert_eq!(out.resolution, Resolution::Queued);
         }
         let out = cache.resolve("/f9", VM4, AccessMode::Read, Waiter::new(9, 0));
-        assert_eq!(
-            out.resolution,
-            Resolution::WaitRetry { delay: Nanos::from_secs(5) }
-        );
+        assert_eq!(out.resolution, Resolution::WaitRetry { delay: Nanos::from_secs(5) });
     }
 
     #[test]
@@ -738,6 +843,154 @@ mod tests {
 }
 
 #[cfg(test)]
+mod shard_tests {
+    use super::*;
+    use scalla_util::VirtualClock;
+
+    const VM4: ServerSet = ServerSet(0b1111);
+
+    fn cache_with_shards(n: usize) -> (Arc<VirtualClock>, NameCache) {
+        let clock = Arc::new(VirtualClock::new());
+        let cache = NameCache::new(CacheConfig::for_tests().with_shards(n), clock.clone());
+        (clock, cache)
+    }
+
+    /// Enough distinct paths to populate every shard of a small cache.
+    fn paths_covering_all_shards(cache: &NameCache) -> Vec<String> {
+        let mut hit = vec![false; cache.shard_count()];
+        let mut paths = Vec::new();
+        for i in 0.. {
+            let p = format!("/shard/f{i}");
+            hit[cache.shard_of(&p)] = true;
+            paths.push(p);
+            if hit.iter().all(|h| *h) {
+                break;
+            }
+        }
+        paths
+    }
+
+    #[test]
+    fn shard_selection_uses_high_bits_and_is_stable() {
+        let (_clock, cache) = cache_with_shards(16);
+        assert_eq!(cache.shard_count(), 16);
+        for p in ["/a", "/b/c", "/long/path/name.root"] {
+            let expect = (crc32(p.as_bytes()) >> 28) as usize;
+            assert_eq!(cache.shard_of(p), expect, "power-of-two count = top bits");
+        }
+        let (_c1, one) = cache_with_shards(1);
+        assert_eq!(one.shard_of("/anything"), 0);
+    }
+
+    #[test]
+    fn shard_count_clamped_to_at_least_one() {
+        let (_clock, cache) = cache_with_shards(0);
+        assert_eq!(cache.shard_count(), 1);
+        cache.resolve("/f", VM4, AccessMode::Read, Waiter::new(1, 0));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn aggregates_span_all_shards() {
+        let (_clock, cache) = cache_with_shards(4);
+        let paths = paths_covering_all_shards(&cache);
+        for (i, p) in paths.iter().enumerate() {
+            cache.resolve(p, VM4, AccessMode::Read, Waiter::new(i as u64, 0));
+            cache.update_have(p, (i % 4) as u8, false);
+        }
+        assert_eq!(cache.len(), paths.len());
+        assert!(cache.approx_bytes() > 0);
+        assert_eq!(
+            cache.chain_lengths().iter().sum::<usize>(),
+            paths.len(),
+            "every entry visible in exactly one shard's table"
+        );
+        for p in &paths {
+            assert!(cache.peek(p).is_some());
+        }
+    }
+
+    #[test]
+    fn expiry_collects_across_shards() {
+        let (clock, cache) = cache_with_shards(4);
+        let paths = paths_covering_all_shards(&cache);
+        for (i, p) in paths.iter().enumerate() {
+            cache.resolve(p, VM4, AccessMode::Read, Waiter::new(i as u64, 0));
+        }
+        for _ in 0..64 {
+            clock.advance(Nanos::from_secs(1));
+            cache.tick();
+        }
+        assert_eq!(cache.collect(usize::MAX), paths.len());
+        assert_eq!(cache.len(), 0);
+        // Partial collection respects the budget across shard boundaries.
+        for (i, p) in paths.iter().enumerate() {
+            cache.resolve(p, VM4, AccessMode::Read, Waiter::new(i as u64, 0));
+        }
+        for _ in 0..64 {
+            clock.advance(Nanos::from_secs(1));
+            cache.tick();
+        }
+        assert_eq!(cache.collect(1), 1);
+        assert_eq!(cache.collect(usize::MAX), paths.len() - 1);
+    }
+
+    #[test]
+    fn locref_carries_owning_shard() {
+        let (_clock, cache) = cache_with_shards(4);
+        let paths = paths_covering_all_shards(&cache);
+        for (i, p) in paths.iter().enumerate() {
+            let out = cache.resolve(p, VM4, AccessMode::Read, Waiter::new(i as u64, 0));
+            assert_eq!(out.locref.shard as usize, cache.shard_of(p));
+            // The shard-routed fast path must land on the right object.
+            cache.requeue(p, out.locref, ServerSet::single(3));
+            assert!(cache.peek(p).unwrap().vq.contains(3));
+        }
+        assert_eq!(CacheStats::get(&cache.stats().stale_refs), 0);
+    }
+
+    #[test]
+    fn requeue_with_foreign_shard_index_is_safe() {
+        let (_clock, cache) = cache_with_shards(4);
+        let out = cache.resolve("/f", VM4, AccessMode::Read, Waiter::new(1, 0));
+        // A reference forged with an absurd shard index must neither panic
+        // nor corrupt another shard: fallback lookup by name applies it to
+        // the right object.
+        let forged = LocRef { shard: 9999, ..out.locref };
+        cache.requeue("/f", forged, ServerSet::single(2));
+        assert_eq!(CacheStats::get(&cache.stats().stale_refs), 1);
+        assert!(cache.peek("/f").unwrap().vq.contains(2));
+    }
+
+    /// The same single-threaded op sequence must produce identical
+    /// observable resolutions at any shard count (the model test in
+    /// `tests/cache_model.rs` exercises this far harder).
+    #[test]
+    fn shard_count_does_not_change_observables() {
+        let run = |shards: usize| {
+            let (clock, cache) = cache_with_shards(shards);
+            let mut log = Vec::new();
+            for round in 0..3 {
+                for i in 0..24 {
+                    let p = format!("/obs/f{i}");
+                    let out = cache.resolve(p.as_str(), VM4, AccessMode::Read, Waiter::new(i, 0));
+                    log.push((out.resolution, out.query));
+                    if i % 3 == round {
+                        cache.update_have(&p, (i % 4) as u8, false);
+                    }
+                }
+                clock.advance(Nanos::from_secs(2));
+                cache.tick();
+                cache.sweep();
+            }
+            log
+        };
+        assert_eq!(run(1), run(4));
+        assert_eq!(run(1), run(16));
+    }
+}
+
+#[cfg(test)]
 mod backfill_tests {
     use super::*;
     use scalla_util::{Nanos, VirtualClock};
@@ -759,11 +1012,7 @@ mod backfill_tests {
         let vm_without_4 = ServerSet::first_n(8).without(4);
         clock.advance(Nanos::from_millis(1));
         let out = cache.resolve("/late/f", vm_without_4, AccessMode::Read, Waiter::new(1, 0));
-        assert_eq!(
-            out.resolution,
-            Resolution::Queued,
-            "must re-query, not conclude NotFound"
-        );
+        assert_eq!(out.resolution, Resolution::Queued, "must re-query, not conclude NotFound");
         assert_eq!(out.query, vm_without_4, "every eligible server re-asked");
     }
 
@@ -778,7 +1027,8 @@ mod backfill_tests {
         }
         cache.update_have("/late/g", 2, false);
         clock.advance(Nanos::from_millis(1));
-        let out = cache.resolve("/late/g", ServerSet::first_n(4), AccessMode::Read, Waiter::new(1, 0));
+        let out =
+            cache.resolve("/late/g", ServerSet::first_n(4), AccessMode::Read, Waiter::new(1, 0));
         match out.resolution {
             Resolution::Redirect { online, .. } => assert!(online.contains(2)),
             other => panic!("{other:?}"),

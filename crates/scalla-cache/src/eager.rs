@@ -150,11 +150,13 @@ mod tests {
         let mut slab = LocSlab::new();
         let mut ring = EagerWindowRing::new();
         let n = 1_000;
-        let slots: Vec<u32> = (0..n).map(|i| {
-            let s = alloc(&mut slab, &format!("/f{i}"));
-            ring.chain_now(&mut slab, s);
-            s
-        }).collect();
+        let slots: Vec<u32> = (0..n)
+            .map(|i| {
+                let s = alloc(&mut slab, &format!("/f{i}"));
+                ring.chain_now(&mut slab, s);
+                s
+            })
+            .collect();
         ring.tick(&mut slab); // move off the build window
         let before = ring.unlink_steps;
         // Refresh the first-inserted entry: it sits at chain tail.

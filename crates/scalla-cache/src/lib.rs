@@ -68,9 +68,9 @@ pub mod window;
 
 pub use cache::{NameCache, Resolution, ResolveOutcome};
 pub use config::CacheConfig;
-pub use correct::ConnectLog;
+pub use correct::{ConnectLog, CorrectionMemo};
 pub use loc::{AccessMode, LocState};
 pub use respq::{QueueFull, Waiter};
 pub use slab::LocRef;
-pub use table::SizePolicy;
 pub use stats::{CacheStats, StatsSnapshot};
+pub use table::SizePolicy;

@@ -168,7 +168,8 @@ mod tests {
     #[test]
     fn correction_removes_new_servers_from_known() {
         // Object cached when servers {0,1} were known to have the file.
-        let mut s = LocState { vh: ServerSet::first_n(2), vp: ServerSet::EMPTY, vq: ServerSet::EMPTY };
+        let mut s =
+            LocState { vh: ServerSet::first_n(2), vp: ServerSet::EMPTY, vq: ServerSet::EMPTY };
         // Server 2 connected since; all three export the path.
         let vc = ServerSet::single(2);
         let vm = ServerSet::first_n(3);
@@ -181,7 +182,8 @@ mod tests {
     #[test]
     fn correction_limits_to_vm() {
         // Server 1 was dropped: it no longer appears in V_m.
-        let mut s = LocState { vh: ServerSet::first_n(2), vp: ServerSet::EMPTY, vq: ServerSet::EMPTY };
+        let mut s =
+            LocState { vh: ServerSet::first_n(2), vp: ServerSet::EMPTY, vq: ServerSet::EMPTY };
         let vm = ServerSet::single(0);
         s.apply_correction(ServerSet::EMPTY, vm);
         assert_eq!(s.vh, ServerSet::single(0));

@@ -194,10 +194,7 @@ mod tests {
         for i in 0..4 {
             q.open(i, AccessMode::Read, Waiter::new(i as u64, 0), Nanos::ZERO).unwrap();
         }
-        assert_eq!(
-            q.open(9, AccessMode::Write, Waiter::new(9, 0), Nanos::ZERO),
-            Err(QueueFull)
-        );
+        assert_eq!(q.open(9, AccessMode::Write, Waiter::new(9, 0), Nanos::ZERO), Err(QueueFull));
         assert_eq!(q.busy_anchors(), 4);
     }
 

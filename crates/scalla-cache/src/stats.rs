@@ -3,6 +3,14 @@
 //! Everything the experiments need to observe — hit rates, correction
 //! behaviour, eviction load, fast-queue effectiveness — is counted here with
 //! relaxed atomics so reading them never perturbs the hot paths.
+//!
+//! The counters are deliberately lock-free: one `CacheStats` is shared by
+//! every shard of the sharded [`crate::NameCache`], so a counter mutex (or
+//! per-counter `Cell` behind the shard locks) would re-introduce exactly
+//! the cross-shard contention point the sharding removed. `fetch_add`
+//! guarantees no increment is ever lost, regardless of how many shards
+//! update the same counter concurrently; `Relaxed` ordering is sufficient
+//! because nothing synchronizes *through* a statistic.
 
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -190,6 +198,45 @@ mod tests {
         CacheStats::add(&s.lookups, 4);
         assert_eq!(CacheStats::get(&s.lookups), 5);
         assert!(s.report().contains("lookups=5"));
+    }
+
+    /// No increment may be lost under concurrent updates from many
+    /// threads (the shards all share one `CacheStats`). `fetch_add` makes
+    /// lost updates impossible; this pins that property against any future
+    /// "optimization" towards plain loads/stores.
+    #[test]
+    fn concurrent_updates_lose_nothing() {
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 100_000;
+        let s = std::sync::Arc::new(CacheStats::default());
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    let mut last = 0;
+                    for i in 0..PER_THREAD {
+                        CacheStats::bump(&s.lookups);
+                        if i % 2 == t % 2 {
+                            CacheStats::bump(&s.hits);
+                        }
+                        CacheStats::add(&s.fast_releases, 3);
+                        // Concurrent readers must never observe torn or
+                        // decreasing values (per-location coherence is the
+                        // only cross-thread guarantee Relaxed gives, and
+                        // the only one monitoring needs).
+                        let snap = s.snapshot();
+                        assert!(snap.lookups >= last, "counter went backwards");
+                        last = snap.lookups;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(CacheStats::get(&s.lookups), THREADS * PER_THREAD);
+        assert_eq!(CacheStats::get(&s.hits), THREADS * PER_THREAD / 2);
+        assert_eq!(CacheStats::get(&s.fast_releases), 3 * THREADS * PER_THREAD);
     }
 
     #[test]

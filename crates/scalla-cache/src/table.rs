@@ -205,7 +205,8 @@ mod tests {
     fn insert_lookup_roundtrip() {
         let mut slab = LocSlab::new();
         let mut t = HashTable::new(5, 80);
-        let names: Vec<String> = (0..50).map(|i| format!("/data/run{}/f{}.root", i % 7, i)).collect();
+        let names: Vec<String> =
+            (0..50).map(|i| format!("/data/run{}/f{}.root", i % 7, i)).collect();
         let slots: Vec<u32> = names.iter().map(|n| add(&mut t, &mut slab, n)).collect();
         for (name, &slot) in names.iter().zip(&slots) {
             let h = crc32(name.as_bytes());

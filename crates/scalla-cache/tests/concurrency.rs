@@ -4,11 +4,143 @@
 //! (cache → response queue) and the loose coupling the paper relies on —
 //! any deadlock hangs the test, any unsoundness trips an assert.
 
-use scalla_cache::{AccessMode, CacheConfig, NameCache, Resolution, Waiter};
+use scalla_cache::{AccessMode, CacheConfig, CacheStats, NameCache, Resolution, Waiter};
 use scalla_util::{Nanos, ServerSet, SystemClock};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Worker threads resolving disjoint *and* overlapping path sets across
+/// every shard while a ticker churns tick/collect/sweep. Checks the two
+/// properties sharding must not break:
+///
+/// * the paper's state invariant `V_q ∩ (V_h ∪ V_p) = ∅` on every state
+///   observed through `peek`, and
+/// * reference-authenticator validation: a [`scalla_cache::LocRef`] saved
+///   across churn either lands on the live object (its shard index routes
+///   it) or is rejected and falls back to a by-name look-up — never a
+///   panic, never a write to the wrong object.
+#[test]
+fn shard_crossing_resolutions_keep_invariants() {
+    let clock = Arc::new(SystemClock::new());
+    let cfg = CacheConfig {
+        lifetime: Nanos::from_millis(1280), // 20 ms windows: steady churn
+        full_delay: Nanos::from_millis(30),
+        fast_window: Nanos::from_millis(5),
+        response_anchors: 1024,
+        initial_table_size: 89,
+        max_load_percent: 80,
+        shards: 8,
+    };
+    let cache = Arc::new(NameCache::new(cfg, clock));
+    assert_eq!(cache.shard_count(), 8);
+    let vm = ServerSet::first_n(16);
+    let stop = Arc::new(AtomicBool::new(false));
+    let checked = Arc::new(AtomicU64::new(0));
+
+    // The shared set deliberately spans every shard so overlapping
+    // resolutions contend on the same shard locks from all threads.
+    let shared: Vec<String> = (0..128).map(|i| format!("/shared/f{i}")).collect();
+    let covered: std::collections::HashSet<usize> =
+        shared.iter().map(|p| cache.shard_of(p)).collect();
+    assert_eq!(covered.len(), 8, "shared paths must cover all shards");
+
+    let mut handles = Vec::new();
+    for t in 0..4u64 {
+        let cache = cache.clone();
+        let stop = stop.clone();
+        let checked = checked.clone();
+        let shared = shared.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut refs = Vec::new();
+            let mut i = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                // Disjoint set: only this thread ever touches /t{t}/...
+                let own = format!("/t{t}/f{}", i % 96);
+                let out = cache.resolve(&own, vm, AccessMode::Read, Waiter::new(t, i));
+                assert_eq!(
+                    out.locref.shard as usize,
+                    cache.shard_of(&own),
+                    "a fresh reference must carry its owning shard"
+                );
+                refs.push((own, out.locref));
+                // Overlapping set: everyone hammers the same names.
+                let them = &shared[((i * 13 + t * 29) % 128) as usize];
+                let out = cache.resolve(them, vm, AccessMode::Read, Waiter::new(t, i));
+                if let Resolution::Redirect { online, preparing } = out.resolution {
+                    assert!((online | preparing).is_subset(vm));
+                }
+                // Replay a held (possibly stale, post-eviction) reference:
+                // must validate-or-fallback, never corrupt.
+                if refs.len() >= 64 {
+                    for (path, r) in refs.drain(..) {
+                        cache.requeue(&path, r, ServerSet::single((i % 16) as u8));
+                    }
+                }
+                if let Some(state) = cache.peek(them) {
+                    assert!(
+                        (state.vq & (state.vh | state.vp)).is_empty(),
+                        "V_q ∩ (V_h ∪ V_p) must stay empty, got {state:?}"
+                    );
+                    checked.fetch_add(1, Ordering::Relaxed);
+                }
+                i += 1;
+            }
+        }));
+    }
+    // Responder thread over the shared set.
+    {
+        let cache = cache.clone();
+        let stop = stop.clone();
+        let shared = shared.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut i = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let path = &shared[(i * 7 % 128) as usize];
+                let server = (i % 16) as u8;
+                for (_, s) in cache.update_have(path, server, i.is_multiple_of(6)) {
+                    assert_eq!(s, server);
+                }
+                i += 1;
+            }
+        }));
+    }
+    // Ticker thread: window tick, background collection, fast-queue sweep.
+    {
+        let cache = cache.clone();
+        let stop = stop.clone();
+        handles.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                cache.tick();
+                cache.collect(1024);
+                cache.sweep();
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }));
+    }
+
+    std::thread::sleep(Duration::from_secs(1));
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().expect("no thread may panic");
+    }
+
+    assert!(checked.load(Ordering::Relaxed) > 1_000, "peek starved");
+    // Final invariant pass over everything still visible, on a quiet cache.
+    let disjoint: Vec<String> =
+        (0..4).flat_map(|t| (0..96).map(move |i| format!("/t{t}/f{i}"))).collect();
+    for p in shared.iter().chain(disjoint.iter()) {
+        if let Some(state) = cache.peek(p) {
+            assert!((state.vq & (state.vh | state.vp)).is_empty());
+        }
+    }
+    // Held references that went stale were counted, not silently mis-applied.
+    let stats = cache.stats();
+    assert!(
+        CacheStats::get(&stats.stale_refs) < CacheStats::get(&stats.lookups),
+        "stale-ref fallback must be the exception, not the rule"
+    );
+}
 
 #[test]
 fn concurrent_resolvers_responders_and_maintenance() {
@@ -20,6 +152,7 @@ fn concurrent_resolvers_responders_and_maintenance() {
         response_anchors: 1024,
         initial_table_size: 89,
         max_load_percent: 80,
+        shards: 8,
     };
     let cache = Arc::new(NameCache::new(cfg, clock));
     let vm = ServerSet::first_n(32);

@@ -379,11 +379,7 @@ impl ClientNode {
             }
             ClientOp::Create { data, .. } => {
                 self.phase = Phase::Writing { handle };
-                self.send_tracked(
-                    ctx,
-                    server,
-                    ClientMsg::Write { handle, offset: 0, data }.into(),
-                );
+                self.send_tracked(ctx, server, ClientMsg::Write { handle, offset: 0, data }.into());
             }
             ClientOp::Stat { path } => {
                 self.phase = Phase::Statting { handle };
@@ -611,11 +607,8 @@ mod tests {
         let leaf = net.add_node(Box::new(StubLeaf { fail_first_open }));
         dir.register("mgr", mgr);
         dir.register("leaf", leaf);
-        let client = net.add_node(Box::new(ClientNode::new(ClientConfig::new(
-            mgr,
-            dir.clone(),
-            ops,
-        ))));
+        let client =
+            net.add_node(Box::new(ClientNode::new(ClientConfig::new(mgr, dir.clone(), ops))));
         net.start();
         net.run_until(Nanos::from_secs(60));
         let node = net.node_mut(client).as_any_mut().unwrap();
@@ -624,10 +617,8 @@ mod tests {
 
     #[test]
     fn open_walk_records_latency_and_hops() {
-        let results = run_script(
-            vec![ClientOp::Open { path: "/data/f".into(), write: false }],
-            false,
-        );
+        let results =
+            run_script(vec![ClientOp::Open { path: "/data/f".into(), write: false }], false);
         assert_eq!(results.len(), 1);
         let r = &results[0];
         assert_eq!(r.outcome, OpOutcome::Ok);
@@ -640,29 +631,23 @@ mod tests {
 
     #[test]
     fn openread_roundtrip() {
-        let results = run_script(
-            vec![ClientOp::OpenRead { path: "/data/f".into(), len: 3 }],
-            false,
-        );
+        let results =
+            run_script(vec![ClientOp::OpenRead { path: "/data/f".into(), len: 3 }], false);
         assert_eq!(results[0].outcome, OpOutcome::Ok);
     }
 
     #[test]
     fn notfound_at_manager_is_terminal() {
-        let results = run_script(
-            vec![ClientOp::Open { path: "/ghost".into(), write: false }],
-            false,
-        );
+        let results =
+            run_script(vec![ClientOp::Open { path: "/ghost".into(), write: false }], false);
         assert_eq!(results[0].outcome, OpOutcome::NotFound);
         assert_eq!(results[0].refreshes, 0);
     }
 
     #[test]
     fn io_error_at_server_triggers_refresh_recovery() {
-        let results = run_script(
-            vec![ClientOp::Open { path: "/data/f".into(), write: false }],
-            true,
-        );
+        let results =
+            run_script(vec![ClientOp::Open { path: "/data/f".into(), write: false }], true);
         let r = &results[0];
         assert_eq!(r.outcome, OpOutcome::Ok);
         assert_eq!(r.refreshes, 1, "one recovery walk");
@@ -698,10 +683,11 @@ mod tests {
         let live = net.add_node(Box::new(StubManager));
         let leaf = net.add_node(Box::new(StubLeaf { fail_first_open: false }));
         dir.register("leaf", leaf);
-        let mut cfg = ClientConfig::new(dead, dir.clone(), vec![ClientOp::Open {
-            path: "/data/f".into(),
-            write: false,
-        }]);
+        let mut cfg = ClientConfig::new(
+            dead,
+            dir.clone(),
+            vec![ClientOp::Open { path: "/data/f".into(), write: false }],
+        );
         cfg.managers = vec![dead, live];
         cfg.request_timeout = Nanos::from_secs(1);
         let client = net.add_node(Box::new(ClientNode::new(cfg)));

@@ -145,16 +145,14 @@ impl Membership {
     }
 
     fn find_by_name(&self, name: &str) -> Option<ServerId> {
-        self.slots.iter().position(|s| {
-            !matches!(s.state, SlotState::Empty) && s.meta.name == name
-        }).map(|i| i as ServerId)
+        self.slots
+            .iter()
+            .position(|s| !matches!(s.state, SlotState::Empty) && s.meta.name == name)
+            .map(|i| i as ServerId)
     }
 
     fn free_slot(&self) -> Option<ServerId> {
-        self.slots
-            .iter()
-            .position(|s| matches!(s.state, SlotState::Empty))
-            .map(|i| i as ServerId)
+        self.slots.iter().position(|s| matches!(s.state, SlotState::Empty)).map(|i| i as ServerId)
     }
 
     /// Handles a server login. The caller must afterwards call

@@ -102,9 +102,7 @@ impl ExportTable {
 
     /// The set of servers exporting at least one prefix.
     pub fn all_servers(&self) -> ServerSet {
-        self.prefixes
-            .values()
-            .fold(ServerSet::EMPTY, |acc, &s| acc | s)
+        self.prefixes.values().fold(ServerSet::EMPTY, |acc, &s| acc | s)
     }
 }
 

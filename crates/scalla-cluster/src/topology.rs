@@ -214,8 +214,7 @@ mod tests {
         assert_eq!(t.servers.len(), 300);
         for node in &t.nodes {
             // Slots within a parent are distinct and dense.
-            let slots: Vec<u8> =
-                node.children.iter().map(|c| t.node(*c).slot).collect();
+            let slots: Vec<u8> = node.children.iter().map(|c| t.node(*c).slot).collect();
             for (i, &s) in slots.iter().enumerate() {
                 assert_eq!(s as usize, i);
             }

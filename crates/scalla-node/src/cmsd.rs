@@ -181,15 +181,8 @@ impl CmsdNode {
         let mode = if write { AccessMode::Write } else { AccessMode::Read };
         let waiter = Waiter::new(requester.0, tag);
 
-        let out = self.cache.resolve_full(
-            path,
-            vm,
-            self.members.offline(),
-            mode,
-            waiter,
-            avoid,
-            refresh,
-        );
+        let out =
+            self.cache.resolve_full(path, vm, self.members.offline(), mode, waiter, avoid, refresh);
 
         // Step 5: flood the query set; step 6: requeue children we could
         // not reach (no address — should not happen for V_m members, but
@@ -377,7 +370,10 @@ impl Node for CmsdNode {
         ctx.set_timer(self.cfg.cache.fast_window, tokens::SWEEP);
         ctx.set_timer(self.cfg.cache.window_period(), tokens::TICK);
         ctx.set_timer(self.cfg.offline_after.div(2).max(Nanos::from_millis(100)), tokens::HEALTH);
-        ctx.set_timer(self.cfg.membership.drop_after.div(4).max(Nanos::from_millis(100)), tokens::DROPS);
+        ctx.set_timer(
+            self.cfg.membership.drop_after.div(4).max(Nanos::from_millis(100)),
+            tokens::DROPS,
+        );
         if !self.cfg.parents.is_empty() {
             ctx.set_timer(self.cfg.heartbeat, tokens::HEARTBEAT);
         }
@@ -670,7 +666,9 @@ mod tests {
         let ups: Vec<&Msg> = ctx
             .sends
             .iter()
-            .filter_map(|(to, m)| (*to == parent && matches!(m, Msg::Cms(CmsMsg::Have { .. }))).then_some(m))
+            .filter_map(|(to, m)| {
+                (*to == parent && matches!(m, Msg::Cms(CmsMsg::Have { .. }))).then_some(m)
+            })
             .collect();
         assert_eq!(ups.len(), 1, "responses must be compressed (§II-B2)");
         match ups[0] {
@@ -692,8 +690,13 @@ mod tests {
         node.on_message(
             &mut ctx,
             parent,
-            CmsMsg::Locate { reqid: 1, path: "/data/ghost".into(), hash: crc32(b"/data/ghost"), write: false }
-                .into(),
+            CmsMsg::Locate {
+                reqid: 1,
+                path: "/data/ghost".into(),
+                hash: crc32(b"/data/ghost"),
+                write: false,
+            }
+            .into(),
         );
         // Floods down but nothing goes back up, even after the deadline.
         assert!(ctx.sends.iter().all(|(to, _)| *to != parent));
@@ -702,8 +705,13 @@ mod tests {
         node.on_message(
             &mut ctx,
             parent,
-            CmsMsg::Locate { reqid: 2, path: "/data/ghost".into(), hash: crc32(b"/data/ghost"), write: false }
-                .into(),
+            CmsMsg::Locate {
+                reqid: 2,
+                path: "/data/ghost".into(),
+                hash: crc32(b"/data/ghost"),
+                write: false,
+            }
+            .into(),
         );
         assert!(ctx.sends.iter().all(|(to, _)| *to != parent), "silence is the negative");
     }
@@ -719,10 +727,7 @@ mod tests {
         ctx.sends.clear();
         clock.advance(Nanos::from_millis(200)); // > 133 ms
         node.on_timer(&mut ctx, tokens::SWEEP);
-        assert!(matches!(
-            &ctx.sends[0],
-            (Addr(7), Msg::Server(ServerMsg::Wait { millis: 5000 }))
-        ));
+        assert!(matches!(&ctx.sends[0], (Addr(7), Msg::Server(ServerMsg::Wait { millis: 5000 }))));
     }
 
     #[test]
@@ -736,7 +741,8 @@ mod tests {
         node.on_message(
             &mut ctx,
             client,
-            ClientMsg::Open { path: "/data/new".into(), write: true, refresh: false, avoid: None }.into(),
+            ClientMsg::Open { path: "/data/new".into(), write: true, refresh: false, avoid: None }
+                .into(),
         );
         // Deadline passes with no Have: retry must allocate.
         clock.advance(Nanos::from_secs(6));
@@ -744,12 +750,10 @@ mod tests {
         node.on_message(
             &mut ctx,
             client,
-            ClientMsg::Open { path: "/data/new".into(), write: true, refresh: false, avoid: None }.into(),
+            ClientMsg::Open { path: "/data/new".into(), write: true, refresh: false, avoid: None }
+                .into(),
         );
-        assert!(matches!(
-            &ctx.sends[0],
-            (Addr(7), Msg::Server(ServerMsg::Redirect { .. }))
-        ));
+        assert!(matches!(&ctx.sends[0], (Addr(7), Msg::Server(ServerMsg::Redirect { .. }))));
     }
 
     #[test]
@@ -827,9 +831,14 @@ mod tests {
             Addr(7),
             ClientMsg::Prepare { paths: vec!["/data/a".into(), "/data/b".into()] }.into(),
         );
-        let locates = ctx.sends.iter().filter(|(_, m)| matches!(m, Msg::Cms(CmsMsg::Locate { .. }))).count();
+        let locates =
+            ctx.sends.iter().filter(|(_, m)| matches!(m, Msg::Cms(CmsMsg::Locate { .. }))).count();
         assert_eq!(locates, 4, "two paths x two servers");
-        let acks = ctx.sends.iter().filter(|(_, m)| matches!(m, Msg::Server(ServerMsg::PrepareOk))).count();
+        let acks = ctx
+            .sends
+            .iter()
+            .filter(|(_, m)| matches!(m, Msg::Server(ServerMsg::PrepareOk)))
+            .count();
         assert_eq!(acks, 1);
     }
 

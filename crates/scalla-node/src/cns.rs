@@ -58,10 +58,7 @@ impl CnsNode {
     /// Looks a directory listing up directly (harness/testing).
     pub fn list(&self, dir: &str) -> Vec<String> {
         let dir = if dir.len() > 1 { dir.trim_end_matches('/') } else { dir };
-        self.dirs
-            .get(dir)
-            .map(|m| m.keys().cloned().collect())
-            .unwrap_or_default()
+        self.dirs.get(dir).map(|m| m.keys().cloned().collect()).unwrap_or_default()
     }
 
     fn record(&mut self, created: bool, path: &str) {

@@ -54,7 +54,12 @@ impl LocalFs {
         self.used += size;
         self.files.insert(
             path.to_string(),
-            FileEntry { data: Bytes::from(vec![0u8; size as usize]), size, online: true, staging: false },
+            FileEntry {
+                data: Bytes::from(vec![0u8; size as usize]),
+                size,
+                online: true,
+                staging: false,
+            },
         );
     }
 

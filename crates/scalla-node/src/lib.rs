@@ -29,10 +29,10 @@
 
 pub mod cmsd;
 pub mod cns;
-#[cfg(test)]
-pub(crate) mod testutil;
 pub mod fs;
 pub mod server;
+#[cfg(test)]
+pub(crate) mod testutil;
 
 pub use cmsd::{CmsdConfig, CmsdNode, CmsdRole};
 pub use cns::CnsNode;

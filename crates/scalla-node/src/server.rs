@@ -98,7 +98,14 @@ impl ServerNode {
     /// Creates a server with an empty store.
     pub fn new(cfg: ServerConfig) -> ServerNode {
         let fs = LocalFs::new(cfg.capacity);
-        ServerNode { cfg, fs, handles: HashMap::new(), next_handle: 0, staging: HashMap::new(), next_staging: 0 }
+        ServerNode {
+            cfg,
+            fs,
+            handles: HashMap::new(),
+            next_handle: 0,
+            staging: HashMap::new(),
+            next_staging: 0,
+        }
     }
 
     /// The local store (harness seeding / inspection).
@@ -170,13 +177,7 @@ impl ServerNode {
         }
     }
 
-    fn handle_open(
-        &mut self,
-        ctx: &mut dyn NetCtx,
-        from: Addr,
-        path: String,
-        write: bool,
-    ) {
+    fn handle_open(&mut self, ctx: &mut dyn NetCtx, from: Addr, path: String, write: bool) {
         match self.fs.get(&path) {
             Some(entry) if entry.online => {
                 let h = self.next_handle;
@@ -411,20 +412,14 @@ mod tests {
         let mut s = server();
         let mut ctx = MockCtx::new();
         s.on_message(&mut ctx, Addr(0), locate("/mss/f2"));
-        assert!(matches!(
-            &ctx.sends[0].1,
-            Msg::Cms(CmsMsg::Have { staging: true, .. })
-        ));
+        assert!(matches!(&ctx.sends[0].1, Msg::Cms(CmsMsg::Have { staging: true, .. })));
         // Staging timer armed.
         let (delay, token) = ctx.timers[0];
         assert_eq!(delay, Nanos::from_secs(30));
         // Fire it: file comes online and a promotion Have goes up.
         let mut ctx2 = MockCtx::new();
         s.on_timer(&mut ctx2, token);
-        assert!(matches!(
-            &ctx2.sends[0].1,
-            Msg::Cms(CmsMsg::Have { staging: false, .. })
-        ));
+        assert!(matches!(&ctx2.sends[0].1, Msg::Cms(CmsMsg::Have { staging: false, .. })));
         assert!(s.fs().get("/mss/f2").unwrap().online);
     }
 
@@ -533,10 +528,7 @@ mod tests {
         let mut s = server();
         let mut ctx = MockCtx::new();
         s.on_timer(&mut ctx, tokens::HEARTBEAT);
-        assert!(matches!(
-            &ctx.sends[0].1,
-            Msg::Cms(CmsMsg::LoadReport { load: 0, .. })
-        ));
+        assert!(matches!(&ctx.sends[0].1, Msg::Cms(CmsMsg::LoadReport { load: 0, .. })));
         // Re-armed.
         assert_eq!(ctx.timers.len(), 1);
     }

@@ -73,10 +73,16 @@ fn msg_strategy() -> impl Strategy<Value = Msg> {
         (any::<u64>(), path_strategy(), any::<u32>(), any::<bool>()).prop_map(
             |(reqid, path, hash, staging)| CmsMsg::Have { reqid, path, hash, staging }.into()
         ),
-        (any::<u32>(), any::<u64>())
-            .prop_map(|(load, free_bytes)| CmsMsg::LoadReport { load, free_bytes }.into()),
-        (any::<bool>(), path_strategy())
-            .prop_map(|(created, path)| CmsMsg::NsEvent { created, path }.into()),
+        (any::<u32>(), any::<u64>()).prop_map(|(load, free_bytes)| CmsMsg::LoadReport {
+            load,
+            free_bytes
+        }
+        .into()),
+        (any::<bool>(), path_strategy()).prop_map(|(created, path)| CmsMsg::NsEvent {
+            created,
+            path
+        }
+        .into()),
         Just(Msg::Server(ServerMsg::CloseOk)),
         Just(Msg::Server(ServerMsg::PrepareOk)),
         any::<u64>().prop_map(|millis| Msg::Server(ServerMsg::Wait { millis })),

@@ -258,6 +258,9 @@ impl From<CmsMsg> for Msg {
 }
 
 /// Serde adapter for `bytes::Bytes` (serialize as byte sequences).
+// Referenced through `#[serde(with = ...)]` attributes; the vendored
+// no-op derive shim does not expand those, leaving the functions unused.
+#[allow(dead_code)]
 mod serde_bytes_compat {
     use bytes::Bytes;
     use serde::{Deserialize, Deserializer, Serializer};

@@ -314,16 +314,10 @@ fn decode_client(buf: &mut impl Buf) -> Result<ClientMsg, WireError> {
             refresh: get_bool(buf)?,
             avoid: get_opt_str(buf)?,
         },
-        1 => ClientMsg::Read {
-            handle: get_u64(buf)?,
-            offset: get_u64(buf)?,
-            len: get_u32(buf)?,
-        },
-        2 => ClientMsg::Write {
-            handle: get_u64(buf)?,
-            offset: get_u64(buf)?,
-            data: get_bytes(buf)?,
-        },
+        1 => ClientMsg::Read { handle: get_u64(buf)?, offset: get_u64(buf)?, len: get_u32(buf)? },
+        2 => {
+            ClientMsg::Write { handle: get_u64(buf)?, offset: get_u64(buf)?, data: get_bytes(buf)? }
+        }
         3 => ClientMsg::Close { handle: get_u64(buf)? },
         4 => ClientMsg::Stat { path: get_str(buf)? },
         5 => ClientMsg::Prepare { paths: get_strs(buf)? },
@@ -453,13 +447,9 @@ mod tests {
 
     #[test]
     fn truncated_inputs_error_not_panic() {
-        let msg: Msg = CmsMsg::Locate {
-            reqid: 42,
-            path: "/some/long/path".into(),
-            hash: 7,
-            write: true,
-        }
-        .into();
+        let msg: Msg =
+            CmsMsg::Locate { reqid: 42, path: "/some/long/path".into(), hash: 7, write: true }
+                .into();
         let mut buf = BytesMut::new();
         encode_msg(&msg, &mut buf);
         let full = buf.freeze();

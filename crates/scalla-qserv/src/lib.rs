@@ -31,6 +31,6 @@ pub mod query;
 pub mod worker;
 
 pub use chunk::{ChunkStore, ObjRow};
-pub use master::{gather_results, scatter_script, task_path, result_path, QservMasterNode};
+pub use master::{gather_results, result_path, scatter_script, task_path, QservMasterNode};
 pub use query::{Query, QueryResult};
 pub use worker::QservWorkerNode;

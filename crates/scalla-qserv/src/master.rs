@@ -200,16 +200,13 @@ mod tests {
         let ops = scatter_script(&q, &[1, 2, 3], 9);
         assert_eq!(ops.len(), 6);
         assert!(matches!(&ops[0], ClientOp::Create { path, .. } if path == "/chunk/1/task-9"));
-        assert!(
-            matches!(&ops[3], ClientOp::OpenRead { path, .. } if path == "/chunk/1/result-9")
-        );
+        assert!(matches!(&ops[3], ClientOp::OpenRead { path, .. } if path == "/chunk/1/result-9"));
     }
 
     #[test]
     fn gather_merges_local_results() {
         let q = Query::CountRange { lo: 15.0, hi: 20.0 };
-        let chunks: Vec<ChunkStore> =
-            (0..4).map(|p| ChunkStore::generate(p, 300, 11)).collect();
+        let chunks: Vec<ChunkStore> = (0..4).map(|p| ChunkStore::generate(p, 300, 11)).collect();
         let expected: u64 = chunks
             .iter()
             .map(|c| match q.execute(c) {

@@ -71,9 +71,9 @@ impl Query {
                 QueryResult::Mean { count: n, mean: if n == 0 { 0.0 } else { sum / n as f64 } }
             }
             Query::Brightest { n } => QueryResult::Rows(chunk.brightest(n as usize)),
-            Query::Object { id } => QueryResult::Rows(
-                chunk.rows().iter().copied().filter(|r| r.id == id).collect(),
-            ),
+            Query::Object { id } => {
+                QueryResult::Rows(chunk.rows().iter().copied().filter(|r| r.id == id).collect())
+            }
         }
     }
 
@@ -95,10 +95,9 @@ impl Query {
                 lo: it.next()?.parse().ok()?,
                 hi: it.next()?.parse().ok()?,
             }),
-            "mean" => Some(Query::MeanMag {
-                lo: it.next()?.parse().ok()?,
-                hi: it.next()?.parse().ok()?,
-            }),
+            "mean" => {
+                Some(Query::MeanMag { lo: it.next()?.parse().ok()?, hi: it.next()?.parse().ok()? })
+            }
             "brightest" => Some(Query::Brightest { n: it.next()?.parse().ok()? }),
             "object" => Some(Query::Object { id: it.next()?.parse().ok()? }),
             _ => None,
@@ -252,9 +251,7 @@ mod tests {
 
         let a = QueryResult::Mean { count: 2, mean: 10.0 };
         let b = QueryResult::Mean { count: 8, mean: 20.0 };
-        let Some(QueryResult::Mean { count, mean }) = QueryResult::merge(&[a, b]) else {
-            panic!()
-        };
+        let Some(QueryResult::Mean { count, mean }) = QueryResult::merge(&[a, b]) else { panic!() };
         assert_eq!(count, 10);
         assert!((mean - 18.0).abs() < 1e-9, "weighted mean, got {mean}");
         // Mixed variants are rejected.

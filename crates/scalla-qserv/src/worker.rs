@@ -115,8 +115,8 @@ mod tests {
         let mut net = SimNet::new(LatencyModel::fixed(Nanos::from_micros(5)), 1);
         let cfg = ServerConfig::new("w0", Addr(999));
         let chunks = vec![ChunkStore::generate(3, 200, 7)];
-        let expected = Query::CountRange { lo: 15.0, hi: 20.0 }
-            .execute(&ChunkStore::generate(3, 200, 7));
+        let expected =
+            Query::CountRange { lo: 15.0, hi: 20.0 }.execute(&ChunkStore::generate(3, 200, 7));
         let worker = net.add_node(Box::new(QservWorkerNode::new(cfg, chunks)));
         net.start();
         net.run_for(Nanos::from_millis(1));
@@ -127,8 +127,7 @@ mod tests {
         net.inject(
             ext,
             worker,
-            ClientMsg::Open { path: path.clone(), write: true, refresh: false, avoid: None }
-                .into(),
+            ClientMsg::Open { path: path.clone(), write: true, refresh: false, avoid: None }.into(),
         );
         net.run_for(Nanos::from_millis(1));
         let q = Query::CountRange { lo: 15.0, hi: 20.0 };
@@ -140,12 +139,8 @@ mod tests {
         net.inject(ext, worker, ClientMsg::Close { handle: 0 }.into());
         net.run_for(Nanos::from_millis(1));
 
-        let w = net
-            .node_mut(worker)
-            .as_any_mut()
-            .unwrap()
-            .downcast_ref::<QservWorkerNode>()
-            .unwrap();
+        let w =
+            net.node_mut(worker).as_any_mut().unwrap().downcast_ref::<QservWorkerNode>().unwrap();
         assert_eq!(w.tasks_executed, 1);
         let result_file = w.server().fs().get(&result_path_for_task(&path)).expect("result file");
         let decoded = QueryResult::decode(std::str::from_utf8(&result_file.data).unwrap());
@@ -173,8 +168,13 @@ mod tests {
         net.inject(
             ext,
             worker,
-            ClientMsg::Open { path: "/chunk/1/notes.txt".into(), write: true, refresh: false, avoid: None }
-                .into(),
+            ClientMsg::Open {
+                path: "/chunk/1/notes.txt".into(),
+                write: true,
+                refresh: false,
+                avoid: None,
+            }
+            .into(),
         );
         net.run_for(Nanos::from_millis(1));
         net.inject(
@@ -185,12 +185,8 @@ mod tests {
         );
         net.inject(ext, worker, ClientMsg::Close { handle: 0 }.into());
         net.run_for(Nanos::from_millis(1));
-        let w = net
-            .node_mut(worker)
-            .as_any_mut()
-            .unwrap()
-            .downcast_ref::<QservWorkerNode>()
-            .unwrap();
+        let w =
+            net.node_mut(worker).as_any_mut().unwrap().downcast_ref::<QservWorkerNode>().unwrap();
         assert_eq!(w.tasks_executed, 0);
     }
 
@@ -217,12 +213,8 @@ mod tests {
         );
         net.inject(ext, worker, ClientMsg::Close { handle: 0 }.into());
         net.run_for(Nanos::from_millis(1));
-        let w = net
-            .node_mut(worker)
-            .as_any_mut()
-            .unwrap()
-            .downcast_ref::<QservWorkerNode>()
-            .unwrap();
+        let w =
+            net.node_mut(worker).as_any_mut().unwrap().downcast_ref::<QservWorkerNode>().unwrap();
         assert_eq!(w.tasks_executed, 0);
         let _ = ServerMsg::CloseOk; // silence unused import lint paths
     }

@@ -30,6 +30,6 @@ pub mod workload;
 
 pub use cluster::{ClusterConfig, SimCluster};
 pub use live::LiveNet;
-pub use tcp::TcpNet;
 pub use metrics::{summarize, LatencySummary};
+pub use tcp::TcpNet;
 pub use workload::{analysis_job, make_catalog, WorkloadConfig, ZipfSampler};

@@ -109,8 +109,7 @@ impl LiveNet {
             let handle = std::thread::Builder::new()
                 .name(format!("scalla-node-{i}"))
                 .spawn(move || {
-                    let mut timers: BinaryHeap<std::cmp::Reverse<(Nanos, u64)>> =
-                        BinaryHeap::new();
+                    let mut timers: BinaryHeap<std::cmp::Reverse<(Nanos, u64)>> = BinaryHeap::new();
                     let mut rng_state = 0x5EED_0000 ^ me.0;
                     {
                         let mut ctx = LiveCtx {

@@ -13,11 +13,11 @@
 //! a broken pipe and the message is dropped — exactly the loss semantics
 //! of the other runtimes.
 
+use bytes::BytesMut;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use scalla_proto::{encode_frame, Addr, FrameDecoder, Msg};
 use scalla_simnet::{NetCtx, Node};
 use scalla_util::{Clock, Nanos, SystemClock};
-use bytes::BytesMut;
 use std::collections::{BinaryHeap, HashMap};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -166,9 +166,9 @@ impl TcpNet {
                                 std::thread::spawn(move || {
                                     stream.set_nodelay(true).ok();
                                     stream
-                                        .set_read_timeout(Some(
-                                            std::time::Duration::from_millis(200),
-                                        ))
+                                        .set_read_timeout(Some(std::time::Duration::from_millis(
+                                            200,
+                                        )))
                                         .ok();
                                     // Preamble: sender address.
                                     let mut pre = [0u8; 8];
@@ -178,10 +178,8 @@ impl TcpNet {
                                             Ok(0) => return,
                                             Ok(n) => got += n,
                                             Err(e)
-                                                if e.kind()
-                                                    == std::io::ErrorKind::WouldBlock
-                                                    || e.kind()
-                                                        == std::io::ErrorKind::TimedOut =>
+                                                if e.kind() == std::io::ErrorKind::WouldBlock
+                                                    || e.kind() == std::io::ErrorKind::TimedOut =>
                                             {
                                                 if stop.load(Ordering::Relaxed) {
                                                     return;
@@ -212,8 +210,7 @@ impl TcpNet {
                                             }
                                             Err(e)
                                                 if e.kind() == std::io::ErrorKind::WouldBlock
-                                                    || e.kind()
-                                                        == std::io::ErrorKind::TimedOut =>
+                                                    || e.kind() == std::io::ErrorKind::TimedOut =>
                                             {
                                                 if stop.load(Ordering::Relaxed) {
                                                     return;
@@ -238,8 +235,7 @@ impl TcpNet {
             let handle = std::thread::Builder::new()
                 .name(format!("scalla-tcp-node-{i}"))
                 .spawn(move || {
-                    let mut timers: BinaryHeap<std::cmp::Reverse<(Nanos, u64)>> =
-                        BinaryHeap::new();
+                    let mut timers: BinaryHeap<std::cmp::Reverse<(Nanos, u64)>> = BinaryHeap::new();
                     let mut conns: HashMap<Addr, TcpStream> = HashMap::new();
                     let mut rng_state = 0x7C9_0000 ^ me.0;
                     let mut scratch = BytesMut::with_capacity(4096);

@@ -26,21 +26,14 @@ pub struct WorkloadConfig {
 
 impl Default for WorkloadConfig {
     fn default() -> WorkloadConfig {
-        WorkloadConfig {
-            files_per_job: 24,
-            metadata_ops_per_file: 2,
-            think: Nanos::ZERO,
-            seed: 1,
-        }
+        WorkloadConfig { files_per_job: 24, metadata_ops_per_file: 2, think: Nanos::ZERO, seed: 1 }
     }
 }
 
 /// Builds a file catalog of `n` paths shaped like HEP run data:
 /// `/{prefix}/run{r}/events-{k}.root`.
 pub fn make_catalog(n: usize, prefix: &str) -> Vec<String> {
-    (0..n)
-        .map(|i| format!("/{prefix}/run{:04}/events-{:06}.root", i / 100, i % 100))
-        .collect()
+    (0..n).map(|i| format!("/{prefix}/run{:04}/events-{:06}.root", i / 100, i % 100)).collect()
 }
 
 /// Generates one analysis job: for each of `files_per_job` files drawn from
@@ -129,7 +122,8 @@ mod tests {
     #[test]
     fn analysis_job_shape() {
         let c = make_catalog(100, "x");
-        let cfg = WorkloadConfig { files_per_job: 5, metadata_ops_per_file: 3, ..Default::default() };
+        let cfg =
+            WorkloadConfig { files_per_job: 5, metadata_ops_per_file: 3, ..Default::default() };
         let ops = analysis_job(&c, &cfg);
         // Per file: 3 stats + 1 open-read.
         assert_eq!(ops.len(), 5 * 4);

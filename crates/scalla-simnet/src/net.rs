@@ -310,12 +310,8 @@ impl SimNet {
         };
         let mut effects = Effects::default();
         {
-            let mut ctx = SimCtx {
-                now: ev.at,
-                me: ev.to,
-                rng: &mut self.rng,
-                effects: &mut effects,
-            };
+            let mut ctx =
+                SimCtx { now: ev.at, me: ev.to, rng: &mut self.rng, effects: &mut effects };
             match ev.kind {
                 EventKind::Deliver { from, msg } => {
                     if self.down.contains(&from) {
@@ -363,9 +359,7 @@ impl SimNet {
     /// Mutable access to a node for harness inspection. The node must have
     /// been registered and not be mid-dispatch.
     pub fn node_mut(&mut self, addr: Addr) -> &mut dyn Node {
-        self.nodes[addr.0 as usize]
-            .as_deref_mut()
-            .expect("node present outside dispatch")
+        self.nodes[addr.0 as usize].as_deref_mut().expect("node present outside dispatch")
     }
 }
 

@@ -17,9 +17,7 @@ use std::time::Instant;
 ///
 /// `Nanos` is also used for durations; the arithmetic saturates rather than
 /// wraps so that deadline math near the epoch cannot panic.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct Nanos(pub u64);
 
 impl Nanos {

@@ -44,13 +44,7 @@ impl Default for Histogram {
 impl Histogram {
     /// Creates an empty histogram.
     pub fn new() -> Histogram {
-        Histogram {
-            buckets: Box::new([0; NBUCKETS]),
-            count: 0,
-            sum: 0,
-            min: u64::MAX,
-            max: 0,
-        }
+        Histogram { buckets: Box::new([0; NBUCKETS]), count: 0, sum: 0, min: u64::MAX, max: 0 }
     }
 
     #[inline]

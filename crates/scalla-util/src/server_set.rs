@@ -31,9 +31,7 @@ pub type ServerId = u8;
 /// assert_eq!((vh & vm).iter().collect::<Vec<_>>(), vec![3, 7]);
 /// assert_eq!((vm - vh).len(), 6);
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Serialize, Deserialize)]
 #[repr(transparent)]
 pub struct ServerSet(pub u64);
 

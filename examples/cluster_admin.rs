@@ -26,7 +26,12 @@ fn main() {
     }
     cluster.settle(Nanos::from_secs(2));
     for j in 0..10u64 {
-        let wl = WorkloadConfig { files_per_job: 12, metadata_ops_per_file: 1, think: Nanos::ZERO, seed: j };
+        let wl = WorkloadConfig {
+            files_per_job: 12,
+            metadata_ops_per_file: 1,
+            think: Nanos::ZERO,
+            seed: j,
+        };
         let ops = workload::analysis_job(&catalog, &wl);
         let c = cluster.add_client(ops, Nanos::from_millis(j * 3));
         cluster.start_node(c);
@@ -41,16 +46,12 @@ fn main() {
         .enumerate()
         .map(|(i, &a)| (format!("mgr-{i}"), a))
         .chain(
-            cluster
-                .supervisors
-                .iter()
-                .enumerate()
-                .map(|(i, &a)| (format!("supervisor #{i}"), a)),
+            cluster.supervisors.iter().enumerate().map(|(i, &a)| (format!("supervisor #{i}"), a)),
         )
         .collect();
     for (label, addr) in interior {
-        let (name, active, offline, entries, buckets, hits, lookups, evictions) =
-            cluster.with_cmsd(addr, |n| {
+        let (name, active, offline, entries, buckets, hits, lookups, evictions) = cluster
+            .with_cmsd(addr, |n| {
                 let s = n.cache().stats();
                 (
                     n.name().to_string(),
@@ -71,13 +72,9 @@ fn main() {
     }
     println!("╟── data servers ───────────────────────────────────────────");
     for i in 0..cluster.servers.len() {
-        let (name, files, free) = cluster.with_server(i, |s| {
-            (s.name().to_string(), s.fs().file_count(), s.fs().free_bytes())
-        });
-        println!(
-            "║ {name:8} files {files:4} │ free {:7.1} GiB",
-            free as f64 / (1u64 << 30) as f64
-        );
+        let (name, files, free) = cluster
+            .with_server(i, |s| (s.name().to_string(), s.fs().file_count(), s.fs().free_bytes()));
+        println!("║ {name:8} files {files:4} │ free {:7.1} GiB", free as f64 / (1u64 << 30) as f64);
     }
     if let Some(cns_addr) = cluster.cns {
         let node = cluster.net.node_mut(cns_addr).as_any_mut().unwrap();

@@ -35,7 +35,10 @@ fn main() {
         ClientOp::List { dir: "/atlas".into() },
         ClientOp::List { dir: "/atlas/data".into() },
         ClientOp::List { dir: "/atlas/data/run1".into() },
-        ClientOp::Create { path: "/atlas/data/run1/f2.root".into(), data: Bytes::from_static(b"new") },
+        ClientOp::Create {
+            path: "/atlas/data/run1/f2.root".into(),
+            data: Bytes::from_static(b"new"),
+        },
         ClientOp::List { dir: "/atlas/data/run1".into() },
     ];
     let client = cluster.add_client(ops, Nanos::ZERO);

@@ -4,12 +4,12 @@
 //!
 //! Run with: `cargo run --example qserv_dispatch`
 
+use scalla::client::{ClientConfig, ClientNode};
 use scalla::node::{CmsdConfig, CmsdNode, ServerConfig};
 use scalla::prelude::*;
 use scalla::qserv::{
-    gather_results, scatter_script, ChunkStore, Query, QservWorkerNode, QueryResult,
+    gather_results, scatter_script, ChunkStore, QservWorkerNode, Query, QueryResult,
 };
-use scalla::client::{ClientConfig, ClientNode};
 use std::sync::Arc;
 
 fn main() {

@@ -54,11 +54,7 @@ fn main() {
     // Peek inside the manager's location cache.
     let mgr = cluster.managers[0];
     let (stats, entries, buckets) = cluster.with_cmsd(mgr, |n| {
-        (
-            n.cache().stats().report(),
-            n.cache().len(),
-            n.cache().bucket_count(),
-        )
+        (n.cache().stats().report(), n.cache().len(), n.cache().bucket_count())
     });
     println!("\n== manager cmsd cache ==");
     println!("entries={entries} buckets={buckets} (Fibonacci)");

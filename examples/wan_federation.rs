@@ -64,7 +64,12 @@ fn main() {
     for r in &r2 {
         println!(
             "  {} -> {:?} via {:?} in {} (waits={} refreshes={})",
-            r.path, r.outcome, r.server, r.latency(), r.waits, r.refreshes
+            r.path,
+            r.outcome,
+            r.server,
+            r.latency(),
+            r.waits,
+            r.refreshes
         );
         assert_eq!(r.outcome, OpOutcome::Ok, "replica must serve the file");
         assert_ne!(r.server.as_deref(), Some(victim_name.as_str()));

@@ -16,8 +16,7 @@ fn main() {
     let mut cluster = SimCluster::build(cfg);
 
     // Source dataset: 10 files, half of them MSS-resident.
-    let sources: Vec<String> =
-        (0..10).map(|i| format!("/tape/run7/events-{i:03}.root")).collect();
+    let sources: Vec<String> = (0..10).map(|i| format!("/tape/run7/events-{i:03}.root")).collect();
     for (i, p) in sources.iter().enumerate() {
         cluster.seed_file(i % 8, p, 4096, i % 2 == 0);
     }
@@ -27,8 +26,7 @@ fn main() {
     // that will be needed, regardless of access mode" (§III-B2). Source
     // stagings overlap, and the destinations' non-existence is proven in
     // the background, so the creates skip their 5 s delays too.
-    let dests: Vec<String> =
-        (0..10).map(|i| format!("/disk/run7/events-{i:03}.root")).collect();
+    let dests: Vec<String> = (0..10).map(|i| format!("/disk/run7/events-{i:03}.root")).collect();
     let mut prepare_list = sources.clone();
     prepare_list.extend(dests.iter().cloned());
     let mut ops = vec![

@@ -1,0 +1,257 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A small wall-clock micro-benchmark harness exposing the criterion API
+//! subset this workspace uses: `Criterion::bench_function`, `Bencher::iter`
+//! / `iter_batched`, `BatchSize`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros. Compared to the real crate there is no
+//! statistical analysis — each benchmark is warmed up, then timed over
+//! enough iterations to fill a fixed measurement window, and the mean time
+//! per iteration is printed.
+//!
+//! Command-line compatibility: `--test` runs every routine exactly once
+//! (CI smoke mode), a positional `<filter>` substring selects benchmarks,
+//! and `--bench`/`--quick`/other harness flags are accepted and ignored.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost; the shim sizes batches the
+/// same way for every variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs (large batches).
+    SmallInput,
+    /// Large per-iteration inputs (small batches).
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Benchmark registry and runner.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // Harness flags cargo/criterion users pass; no-ops here.
+                "--bench" | "--quick" | "--noplot" | "--verbose" | "-v" => {}
+                s if s.starts_with("--") => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion {
+            test_mode,
+            filter,
+            warmup: Duration::from_millis(300),
+            measure: Duration::from_millis(700),
+        }
+    }
+}
+
+impl Criterion {
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            warmup: self.warmup,
+            measure: self.measure,
+            result: None,
+        };
+        f(&mut b);
+        match b.result {
+            _ if self.test_mode => println!("test {name} ... ok"),
+            Some((iters, elapsed)) => {
+                let per = elapsed.as_nanos() as f64 / iters as f64;
+                println!("{name:<50} time: [{}]  ({iters} iters)", fmt_ns(per));
+            }
+            None => println!("{name:<50} time: [no measurement]"),
+        }
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Times one routine.
+pub struct Bencher {
+    test_mode: bool,
+    warmup: Duration,
+    measure: Duration,
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Times `routine` over a measurement window.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm up and estimate the per-iteration cost.
+        let warm_until = Instant::now() + self.warmup;
+        let mut batch = 1u64;
+        while Instant::now() < warm_until {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let per_est = t0.elapsed() / batch.max(1) as u32;
+            // Aim each warm-up batch at ~10 ms so the estimate stabilizes.
+            batch = (10_000_000 / per_est.as_nanos().max(1) as u64).clamp(1, 1 << 24);
+        }
+        // Measure: run batches until the window is filled.
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        while elapsed < self.measure {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            elapsed += t0.elapsed();
+            iters += batch;
+        }
+        self.result = Some((iters, elapsed));
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        let deadline = Instant::now() + self.warmup + self.measure;
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        let mut warmed = false;
+        let mut warm_elapsed = Duration::ZERO;
+        while Instant::now() < deadline {
+            let inputs: Vec<I> = (0..64).map(|_| setup()).collect();
+            let n = inputs.len() as u64;
+            let t0 = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let dt = t0.elapsed();
+            if !warmed {
+                warm_elapsed += dt;
+                warmed = warm_elapsed >= self.warmup;
+                continue;
+            }
+            elapsed += dt;
+            iters += n;
+        }
+        if iters == 0 {
+            // Warm-up consumed the whole window: fall back to one batch.
+            let inputs: Vec<I> = (0..64).map(|_| setup()).collect();
+            let n = inputs.len() as u64;
+            let t0 = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            elapsed = t0.elapsed();
+            iters = n;
+        }
+        self.result = Some((iters, elapsed));
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: None,
+            warmup: Duration::ZERO,
+            measure: Duration::ZERO,
+        };
+        let mut ran = false;
+        c.bench_function("x", |b| b.iter(|| ran = true));
+        assert!(ran);
+    }
+
+    #[test]
+    fn iter_batched_consumes_inputs() {
+        let mut b = Bencher {
+            test_mode: true,
+            warmup: Duration::ZERO,
+            measure: Duration::ZERO,
+            result: None,
+        };
+        let mut total = 0u64;
+        b.iter_batched(|| 2u64, |v| total += v, BatchSize::SmallInput);
+        assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn measurement_mode_reports_iterations() {
+        let mut b = Bencher {
+            test_mode: false,
+            warmup: Duration::from_millis(1),
+            measure: Duration::from_millis(5),
+            result: None,
+        };
+        b.iter(|| black_box(1u64 + 1));
+        let (iters, elapsed) = b.result.expect("measured");
+        assert!(iters > 0);
+        assert!(elapsed >= Duration::from_millis(5));
+    }
+}

@@ -1,0 +1,133 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the `crossbeam::channel` subset this workspace uses —
+//! [`channel::bounded`] with cloneable senders, `try_send`, and
+//! `recv_timeout` — on top of `std::sync::mpsc::sync_channel`.
+
+pub mod channel {
+    //! Bounded MPSC channels with crossbeam's error vocabulary.
+
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    /// Sending half of a bounded channel.
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    /// Receiving half of a bounded channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// Error returned by [`Sender::send`] when the channel disconnected.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity.
+        Full(T),
+        /// All receivers are gone.
+        Disconnected(T),
+    }
+
+    /// Error returned by [`Receiver::recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// All senders are gone.
+        Disconnected,
+    }
+
+    /// Creates a bounded channel of the given capacity.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until the message is enqueued (or the channel dies).
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.0.send(msg).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+
+        /// Enqueues without blocking; fails when full or disconnected.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            self.0.try_send(msg).map_err(|e| match e {
+                mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+            })
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives (or every sender is gone).
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Blocks for at most `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
+
+        /// Receives without blocking, if a message is ready.
+        pub fn try_recv(&self) -> Option<T> {
+            self.0.try_recv().ok()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+    use std::time::Duration;
+
+    #[test]
+    fn bounded_roundtrip_and_capacity() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.try_send(1).unwrap();
+        assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+        assert_eq!(rx.recv().unwrap(), 1);
+    }
+
+    #[test]
+    fn recv_timeout_vocabulary() {
+        let (tx, rx) = bounded::<u32>(1);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Err(RecvTimeoutError::Timeout));
+        drop(tx);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Err(RecvTimeoutError::Disconnected));
+    }
+
+    #[test]
+    fn senders_clone_across_threads() {
+        let (tx, rx) = bounded::<u64>(8);
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let tx = tx.clone();
+            handles.push(std::thread::spawn(move || tx.send(t).unwrap()));
+        }
+        drop(tx);
+        let mut got = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,46 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! This workspace derives `Serialize`/`Deserialize` on a few message and
+//! statistics types but never serializes them at runtime (the wire format
+//! is a hand-written codec in `scalla-proto`). The shim therefore only has
+//! to make the derives and the one hand-written adapter module compile:
+//! the derive macros are no-ops, and the traits carry the minimal surface
+//! referenced by that adapter (`Serializer::serialize_bytes`,
+//! `Vec::<u8>::deserialize`).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait; the no-op derive emits no impl, and nothing requires one.
+pub trait Serialize {}
+
+/// Deserialization entry point; only `Vec<u8>` is implemented, for the
+/// byte-field adapter in `scalla-proto`.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Minimal serializer contract.
+pub trait Serializer: Sized {
+    /// Successful output type.
+    type Ok;
+    /// Error type.
+    type Error;
+
+    /// Serializes a byte slice.
+    fn serialize_bytes(self, v: &[u8]) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Minimal deserializer contract.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error;
+}
+
+impl<'de> Deserialize<'de> for Vec<u8> {
+    fn deserialize<D: Deserializer<'de>>(_deserializer: D) -> Result<Self, D::Error> {
+        // No self-describing format exists in this shim; an empty value is
+        // the only constructible answer, and no caller runs this path.
+        Ok(Vec::new())
+    }
+}

@@ -45,7 +45,10 @@ fn created_files_appear_in_listings() {
     c.settle(Nanos::from_secs(2));
     let client = c.add_client(
         vec![
-            ClientOp::Create { path: "/out/new1.root".into(), data: bytes::Bytes::from_static(b"x") },
+            ClientOp::Create {
+                path: "/out/new1.root".into(),
+                data: bytes::Bytes::from_static(b"x"),
+            },
             ClientOp::List { dir: "/out".into() },
         ],
         Nanos::ZERO,

@@ -18,9 +18,8 @@ fn workload_survives_message_loss() {
     // 5% loss on every link from here on.
     c.net.set_loss_permille(50);
 
-    let ops: Vec<ClientOp> = (0..8)
-        .map(|i| ClientOp::Open { path: format!("/d/f{i}"), write: false })
-        .collect();
+    let ops: Vec<ClientOp> =
+        (0..8).map(|i| ClientOp::Open { path: format!("/d/f{i}"), write: false }).collect();
     let client = c.add_client_with(|cc| {
         cc.ops = ops.clone();
         cc.request_timeout = Nanos::from_secs(2);
@@ -47,7 +46,8 @@ fn supervisor_death_and_recovery() {
     c.settle(Nanos::from_secs(2));
 
     // Sanity: reachable.
-    let probe = c.add_client(vec![ClientOp::Open { path: "/deep/f".into(), write: false }], Nanos::ZERO);
+    let probe =
+        c.add_client(vec![ClientOp::Open { path: "/deep/f".into(), write: false }], Nanos::ZERO);
     c.start_node(probe);
     c.net.run_for(Nanos::from_secs(10));
     assert_eq!(c.client_results(probe)[0].outcome, OpOutcome::Ok);
@@ -82,7 +82,8 @@ fn supervisor_death_and_recovery() {
     }
     c.net.run_for(Nanos::from_secs(15));
 
-    let after = c.add_client(vec![ClientOp::Open { path: "/deep/f".into(), write: false }], Nanos::ZERO);
+    let after =
+        c.add_client(vec![ClientOp::Open { path: "/deep/f".into(), write: false }], Nanos::ZERO);
     c.start_node(after);
     c.net.run_for(Nanos::from_secs(30));
     let r = c.client_results(after);
@@ -111,7 +112,8 @@ fn sixty_fifth_server_is_rejected_not_fatal() {
     // Cluster unaffected; still 64 active members and service works.
     assert_eq!(c.with_cmsd(mgr, |n| n.members().active()).len(), 64);
     c.seed_file(7, "/ok/f", 1, true);
-    let client = c.add_client(vec![ClientOp::Open { path: "/ok/f".into(), write: false }], Nanos::ZERO);
+    let client =
+        c.add_client(vec![ClientOp::Open { path: "/ok/f".into(), write: false }], Nanos::ZERO);
     c.start_node(client);
     c.net.run_for(Nanos::from_secs(10));
     assert_eq!(c.client_results(client)[0].outcome, OpOutcome::Ok);
@@ -179,7 +181,8 @@ fn replicated_supervisor_masks_replica_death() {
     c.settle(Nanos::from_secs(2));
 
     // Baseline access works.
-    let probe = c.add_client(vec![ClientOp::Open { path: "/rep/f".into(), write: false }], Nanos::ZERO);
+    let probe =
+        c.add_client(vec![ClientOp::Open { path: "/rep/f".into(), write: false }], Nanos::ZERO);
     c.start_node(probe);
     c.net.run_for(Nanos::from_secs(10));
     let via = c.client_results(probe)[0].server.clone();

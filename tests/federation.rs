@@ -25,10 +25,8 @@ fn build(n_sites: usize, per_site: usize) -> Federation {
     let clock = net.clock();
     let directory = Arc::new(Directory::new());
 
-    let global = net.add_node(Box::new(CmsdNode::new(
-        CmsdConfig::manager("global"),
-        clock.clone(),
-    )));
+    let global =
+        net.add_node(Box::new(CmsdNode::new(CmsdConfig::manager("global"), clock.clone())));
     directory.register("global", global);
 
     let mut sites = Vec::new();
@@ -141,8 +139,7 @@ fn common_namespace_found_at_any_hosting_site() {
         assert!(v.starts_with("site0-") || v.starts_with("site1-"));
     }
     // Round-robin across sites: over four opens both sites must serve.
-    let sites_used: std::collections::HashSet<&str> =
-        via.iter().map(|v| &v[..5]).collect();
+    let sites_used: std::collections::HashSet<&str> = via.iter().map(|v| &v[..5]).collect();
     assert_eq!(sites_used.len(), 2, "selection should rotate sites: {via:?}");
 }
 

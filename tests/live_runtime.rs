@@ -8,7 +8,10 @@ use scalla::prelude::*;
 use scalla::sim::LiveNet;
 use std::sync::Arc;
 
-fn build_live(n_servers: usize, seeds: &[(usize, &str)]) -> (LiveNet, Vec<ClientOp>, Arc<Directory>, Addr) {
+fn build_live(
+    n_servers: usize,
+    seeds: &[(usize, &str)],
+) -> (LiveNet, Vec<ClientOp>, Arc<Directory>, Addr) {
     let mut net = LiveNet::new();
     let clock = net.clock();
     let directory = Arc::new(Directory::new());
@@ -51,8 +54,7 @@ fn harvest(nodes: Vec<Box<dyn Node>>, client_addr: Addr) -> Vec<scalla::client::
 
 #[test]
 fn live_cluster_serves_reads() {
-    let (mut net, _, directory, manager) =
-        build_live(4, &[(2, "/live/f1"), (3, "/live/f2")]);
+    let (mut net, _, directory, manager) = build_live(4, &[(2, "/live/f1"), (3, "/live/f2")]);
     let ops = vec![
         ClientOp::OpenRead { path: "/live/f1".into(), len: 128 },
         ClientOp::OpenRead { path: "/live/f2".into(), len: 128 },
@@ -170,11 +172,8 @@ fn live_eviction_ticks_in_real_time() {
     assert_eq!(results[0].outcome, OpOutcome::Ok);
     // The manager's cache entry for the file must have expired and been
     // background-collected by the live timers.
-    let mgr_node = nodes[manager.0 as usize]
-        .as_any_mut()
-        .unwrap()
-        .downcast_ref::<CmsdNode>()
-        .unwrap();
+    let mgr_node =
+        nodes[manager.0 as usize].as_any_mut().unwrap().downcast_ref::<CmsdNode>().unwrap();
     let stats = mgr_node.cache().stats();
     use scalla::cache::CacheStats as S;
     assert!(S::get(&stats.evictions) >= 1, "entry must expire in real time");

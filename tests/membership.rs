@@ -42,7 +42,8 @@ fn reconnect_within_window_preserves_cached_locations() {
     c.settle(Nanos::from_secs(2));
 
     // Warm the manager's cache.
-    let warm = c.add_client(vec![ClientOp::Open { path: "/d/f".into(), write: false }], Nanos::ZERO);
+    let warm =
+        c.add_client(vec![ClientOp::Open { path: "/d/f".into(), write: false }], Nanos::ZERO);
     c.start_node(warm);
     c.net.run_for(Nanos::from_secs(5));
     assert_eq!(c.client_results(warm)[0].outcome, OpOutcome::Ok);
@@ -59,7 +60,8 @@ fn reconnect_within_window_preserves_cached_locations() {
 
     // The cached location still resolves — and fast, because prior cached
     // info about an un-dropped reconnector stays valid.
-    let client = c.add_client(vec![ClientOp::Open { path: "/d/f".into(), write: false }], Nanos::ZERO);
+    let client =
+        c.add_client(vec![ClientOp::Open { path: "/d/f".into(), write: false }], Nanos::ZERO);
     c.start_node(client);
     c.net.run_for(Nanos::from_secs(10));
     let r = c.client_results(client);
@@ -76,10 +78,8 @@ fn late_joining_server_found_via_connect_correction() {
     c.settle(Nanos::from_secs(2));
 
     // Resolve before the newcomer exists: NotFound after the full delay.
-    let before = c.add_client(
-        vec![ClientOp::Open { path: "/late/f".into(), write: false }],
-        Nanos::ZERO,
-    );
+    let before =
+        c.add_client(vec![ClientOp::Open { path: "/late/f".into(), write: false }], Nanos::ZERO);
     c.start_node(before);
     c.net.run_for(Nanos::from_secs(20));
     assert_eq!(c.client_results(before)[0].outcome, OpOutcome::NotFound);
@@ -99,10 +99,8 @@ fn late_joining_server_found_via_connect_correction() {
 
     // Resolve again: C_n != N_c on the cached object, V_c adds the
     // newcomer to V_q, the query finds the file.
-    let after = c.add_client(
-        vec![ClientOp::Open { path: "/late/f".into(), write: false }],
-        Nanos::ZERO,
-    );
+    let after =
+        c.add_client(vec![ClientOp::Open { path: "/late/f".into(), write: false }], Nanos::ZERO);
     c.start_node(after);
     c.net.run_for(Nanos::from_secs(30));
     let r = c.client_results(after);
@@ -127,7 +125,8 @@ fn exclusive_files_vanish_with_their_server() {
     c.settle(Nanos::from_secs(2));
 
     // Confirm it resolves.
-    let ok = c.add_client(vec![ClientOp::Open { path: "/only/f".into(), write: false }], Nanos::ZERO);
+    let ok =
+        c.add_client(vec![ClientOp::Open { path: "/only/f".into(), write: false }], Nanos::ZERO);
     c.start_node(ok);
     c.net.run_for(Nanos::from_secs(5));
     assert_eq!(c.client_results(ok)[0].outcome, OpOutcome::Ok);
@@ -136,10 +135,8 @@ fn exclusive_files_vanish_with_their_server() {
     c.net.kill(c.servers[0]);
     c.net.run_for(Nanos::from_secs(60));
 
-    let gone = c.add_client(
-        vec![ClientOp::Open { path: "/only/f".into(), write: false }],
-        Nanos::ZERO,
-    );
+    let gone =
+        c.add_client(vec![ClientOp::Open { path: "/only/f".into(), write: false }], Nanos::ZERO);
     c.start_node(gone);
     c.net.run_for(Nanos::from_secs(30));
     let r = c.client_results(gone);

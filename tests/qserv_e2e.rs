@@ -7,7 +7,7 @@ use scalla::client::{ClientConfig, ClientNode, OpOutcome};
 use scalla::node::{CmsdConfig, CmsdNode, ServerConfig};
 use scalla::prelude::*;
 use scalla::qserv::{
-    gather_results, scatter_script, ChunkStore, Query, QservWorkerNode, QueryResult,
+    gather_results, scatter_script, ChunkStore, QservWorkerNode, Query, QueryResult,
 };
 use std::sync::Arc;
 
@@ -35,10 +35,8 @@ fn rig(query: &Query, n_partitions: u32, n_workers: usize, qid: u64) -> QservRig
             .map(|p| ChunkStore::generate(p, 1_000, 77))
             .collect();
         chunks.extend(mine.iter().cloned());
-        let addr = net.add_node(Box::new(QservWorkerNode::new(
-            ServerConfig::new(&name, manager),
-            mine,
-        )));
+        let addr =
+            net.add_node(Box::new(QservWorkerNode::new(ServerConfig::new(&name, manager), mine)));
         directory.register(&name, addr);
         workers.push(addr);
     }
@@ -157,8 +155,7 @@ fn new_worker_extends_partition_coverage_without_reconfiguration() {
 
     // A new worker joins, carrying partitions 2-3.
     let manager = scalla_proto::Addr(0);
-    let new_chunks: Vec<ChunkStore> =
-        (2..4).map(|p| ChunkStore::generate(p, 1_000, 77)).collect();
+    let new_chunks: Vec<ChunkStore> = (2..4).map(|p| ChunkStore::generate(p, 1_000, 77)).collect();
     let expected_new: u64 = new_chunks
         .iter()
         .map(|c| match query.execute(c) {
@@ -166,10 +163,9 @@ fn new_worker_extends_partition_coverage_without_reconfiguration() {
             _ => unreachable!(),
         })
         .sum();
-    let w_new = rig.net.add_node(Box::new(QservWorkerNode::new(
-        ServerConfig::new("w-late", manager),
-        new_chunks,
-    )));
+    let w_new = rig
+        .net
+        .add_node(Box::new(QservWorkerNode::new(ServerConfig::new("w-late", manager), new_chunks)));
     rig.workers.push(w_new);
     // Start the latecomer (kill+revive runs on_start -> Login).
     rig.net.kill(w_new);
@@ -226,10 +222,8 @@ fn autonomous_master_node_gathers_in_node() {
                 expected += n;
             }
         }
-        let addr = net.add_node(Box::new(QservWorkerNode::new(
-            ServerConfig::new(&name, manager),
-            chunks,
-        )));
+        let addr =
+            net.add_node(Box::new(QservWorkerNode::new(ServerConfig::new(&name, manager), chunks)));
         directory.register(&name, addr);
     }
 

@@ -41,10 +41,8 @@ fn deeper_trees_cost_one_redirect_per_level() {
     let mut shallow = SimCluster::build(fixed_cfg(4));
     shallow.seed_file(3, "/data/f", 1, true);
     shallow.settle(Nanos::from_secs(2));
-    let c1 = shallow.add_client(
-        vec![ClientOp::Open { path: "/data/f".into(), write: false }],
-        Nanos::ZERO,
-    );
+    let c1 = shallow
+        .add_client(vec![ClientOp::Open { path: "/data/f".into(), write: false }], Nanos::ZERO);
     shallow.start_node(c1);
     shallow.net.run_for(Nanos::from_secs(10));
     let r_shallow = shallow.client_results(c1);
@@ -55,10 +53,8 @@ fn deeper_trees_cost_one_redirect_per_level() {
     assert_eq!(deep.spec.depth(), 2);
     deep.seed_file(15, "/data/f", 1, true);
     deep.settle(Nanos::from_secs(2));
-    let c2 = deep.add_client(
-        vec![ClientOp::Open { path: "/data/f".into(), write: false }],
-        Nanos::ZERO,
-    );
+    let c2 =
+        deep.add_client(vec![ClientOp::Open { path: "/data/f".into(), write: false }], Nanos::ZERO);
     deep.start_node(c2);
     deep.net.run_for(Nanos::from_secs(10));
     let r_deep = deep.client_results(c2);
@@ -81,10 +77,8 @@ fn mss_staging_flow() {
     let mut c = SimCluster::build(fixed_cfg(4));
     c.seed_file(2, "/mss/archive", 1 << 10, false);
     c.settle(Nanos::from_secs(2));
-    let client = c.add_client(
-        vec![ClientOp::OpenRead { path: "/mss/archive".into(), len: 64 }],
-        Nanos::ZERO,
-    );
+    let client = c
+        .add_client(vec![ClientOp::OpenRead { path: "/mss/archive".into(), len: 64 }], Nanos::ZERO);
     c.start_node(client);
     c.net.run_for(Nanos::from_secs(60));
     let r = c.client_results(client);
@@ -104,10 +98,8 @@ fn stale_cache_refresh_recovery() {
     c.settle(Nanos::from_secs(2));
 
     // Warm the cache with both holders.
-    let warm = c.add_client(
-        vec![ClientOp::Open { path: "/data/f".into(), write: false }],
-        Nanos::ZERO,
-    );
+    let warm =
+        c.add_client(vec![ClientOp::Open { path: "/data/f".into(), write: false }], Nanos::ZERO);
     c.start_node(warm);
     c.net.run_for(Nanos::from_secs(5));
     let first_server = c.client_results(warm)[0].server.clone().unwrap();
@@ -119,10 +111,8 @@ fn stale_cache_refresh_recovery() {
     let other_idx = if first_idx == 1 { 3 } else { 1 };
     c.with_server(other_idx, |s| s.fs_mut().remove("/data/f"));
 
-    let client = c.add_client(
-        vec![ClientOp::Open { path: "/data/f".into(), write: false }],
-        Nanos::ZERO,
-    );
+    let client =
+        c.add_client(vec![ClientOp::Open { path: "/data/f".into(), write: false }], Nanos::ZERO);
     c.start_node(client);
     c.net.run_for(Nanos::from_secs(30));
     let r = c.client_results(client);
@@ -168,10 +158,7 @@ fn prepare_overlaps_staging_delays() {
 
     let without = run(false);
     let with = run(true);
-    assert!(
-        with < without,
-        "prepare must overlap staging: with={with} without={without}"
-    );
+    assert!(with < without, "prepare must overlap staging: with={with} without={without}");
     // Sequential staging costs ~k * 3 s; prepared costs ~one staging delay
     // plus the 5 s sleep.
     assert!(without >= Nanos::from_secs(3 * k as u64));
@@ -197,9 +184,8 @@ fn write_creation_pays_one_full_delay_then_allocates() {
     assert!(r[0].latency() >= Nanos::from_secs(5), "{}", r[0].latency());
     assert!(r[0].latency() < Nanos::from_secs(11), "{}", r[0].latency());
     // The file landed on exactly one server.
-    let holders = (0..8)
-        .filter(|&i| c.with_server(i, |s| s.fs().get("/out/new.root").is_some()))
-        .count();
+    let holders =
+        (0..8).filter(|&i| c.with_server(i, |s| s.fs().get("/out/new.root").is_some())).count();
     assert_eq!(holders, 1);
 }
 
@@ -211,10 +197,8 @@ fn determinism_identical_seeds_identical_latencies() {
         let mut c = SimCluster::build(cfg);
         c.seed_file(2, "/d/f", 1, true);
         c.settle(Nanos::from_secs(2));
-        let client = c.add_client(
-            vec![ClientOp::Open { path: "/d/f".into(), write: false }],
-            Nanos::ZERO,
-        );
+        let client =
+            c.add_client(vec![ClientOp::Open { path: "/d/f".into(), write: false }], Nanos::ZERO);
         c.start_node(client);
         c.net.run_for(Nanos::from_secs(10));
         c.client_results(client)[0].latency()
@@ -325,9 +309,7 @@ fn least_load_policy_steers_around_busy_server() {
     // responds first, bypassing policy — §III-B1), then every policy-
     // driven open must pick the idle srv-1.
     let client = c.add_client(
-        (0..5)
-            .map(|_| ClientOp::Open { path: "/ll/f".into(), write: false })
-            .collect(),
+        (0..5).map(|_| ClientOp::Open { path: "/ll/f".into(), write: false }).collect(),
         Nanos::ZERO,
     );
     c.start_node(client);

@@ -65,11 +65,7 @@ fn four_thousand_servers_under_load_with_failures() {
     assert_eq!(total, 64 * 32, "every op must terminate, got {total}");
     // With 2 replicas, a 1%-server + one-supervisor kill must leave the
     // overwhelming majority of operations successful.
-    assert!(
-        s.ok as f64 / total as f64 > 0.95,
-        "too many casualties: {}",
-        s.row()
-    );
+    assert!(s.ok as f64 / total as f64 > 0.95, "too many casualties: {}", s.row());
 
     // Manager health: cache stayed bounded and hits dominated.
     let mgr = c.managers[0];
