@@ -16,7 +16,9 @@
 //! cross real sockets; the in-process runtimes pass the enums directly.
 
 pub mod msg;
+pub mod pool;
 pub mod wire;
 
 pub use msg::{Addr, ClientMsg, CmsMsg, ErrCode, Msg, NodeRoleTag, ServerMsg, NO_CLIENT};
+pub use pool::{encode_frame_pooled, BufferPool};
 pub use wire::{decode_msg, encode_frame, encode_msg, FrameDecoder, WireError};

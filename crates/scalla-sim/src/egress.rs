@@ -1,0 +1,313 @@
+//! Non-blocking batched egress for the TCP runtime.
+//!
+//! The protocol thread must never touch a peer socket: one hung peer would
+//! otherwise stall a node's entire event loop (connects, writes, and their
+//! syscalls all block). Instead every outgoing link is a bounded frame
+//! queue drained by a dedicated writer thread:
+//!
+//! * **Non-blocking send** — the protocol thread encodes into a pooled
+//!   buffer and `try_send`s it; a full queue drops the frame with explicit
+//!   accounting (the same loss semantics a dead peer already has).
+//! * **Coalescing** — the writer drains everything queued (up to
+//!   [`MAX_BATCH`]) and ships the batch in a single `write_vectored`
+//!   syscall, so bursts cost one syscall for many frames.
+//! * **Bounded blocking** — connects happen on the writer thread with a
+//!   timeout, writes carry a write timeout, and a peer that stays wedged
+//!   past [`MAX_WRITE_STALLS`] consecutive timeouts is declared dead (its
+//!   frames are dropped and the next frame triggers a fresh connect).
+//! * **Deterministic shutdown** — dropping the queue's sender wakes the
+//!   writer out of `recv`; the stop flag breaks any in-flight stall loop.
+
+use bytes::BytesMut;
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use scalla_proto::{Addr, BufferPool};
+use std::io::{ErrorKind, IoSlice, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Frames a single peer queue can hold before overflow drops begin.
+pub(crate) const QUEUE_CAP: usize = 4096;
+/// Most frames one vectored write will carry.
+const MAX_BATCH: usize = 64;
+/// Writer-side connect budget; a peer that cannot accept in this window
+/// counts as dead for the queued batch.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(1);
+/// Per-syscall write budget so a stalled socket cannot hold the writer
+/// (and therefore shutdown) hostage.
+const WRITE_TIMEOUT: Duration = Duration::from_millis(100);
+/// Consecutive write timeouts before the peer is declared dead.
+const MAX_WRITE_STALLS: u32 = 50;
+
+/// Cumulative egress counters, shared by every link of a net.
+#[derive(Default)]
+pub(crate) struct EgressStats {
+    /// Frames fully written to a socket.
+    pub frames: AtomicU64,
+    /// Vectored write syscalls issued (frames / writes = coalescing ratio).
+    pub writes: AtomicU64,
+    /// Frames dropped because a peer queue was full.
+    pub queue_drops: AtomicU64,
+    /// Frames dropped because the peer was unreachable, stalled past the
+    /// budget, or the connection broke mid-batch.
+    pub conn_drops: AtomicU64,
+}
+
+/// State shared between protocol threads and all writer threads of a net.
+pub(crate) struct EgressShared {
+    /// Net-wide stop flag; breaks writer stall loops promptly.
+    pub stop: Arc<AtomicBool>,
+    /// Frame buffer pool (steady-state sends allocate nothing).
+    pub pool: BufferPool,
+    /// Cumulative counters.
+    pub stats: EgressStats,
+}
+
+impl EgressShared {
+    pub fn new(stop: Arc<AtomicBool>) -> EgressShared {
+        EgressShared {
+            stop,
+            pool: BufferPool::new(2 * QUEUE_CAP.min(256)),
+            stats: EgressStats::default(),
+        }
+    }
+}
+
+/// One outgoing link: a bounded frame queue plus its writer thread.
+pub(crate) struct EgressLink {
+    tx: Sender<BytesMut>,
+    handle: JoinHandle<()>,
+}
+
+impl EgressLink {
+    /// Spawns the writer thread for `me → peer`. Nothing connects yet;
+    /// the first queued frame triggers the (writer-side) connect.
+    pub fn spawn(me: Addr, peer: SocketAddr, shared: Arc<EgressShared>) -> EgressLink {
+        let (tx, rx) = bounded::<BytesMut>(QUEUE_CAP);
+        let handle = std::thread::Builder::new()
+            .name(format!("scalla-tcp-writer-{}-{}", me.0, peer.port()))
+            .spawn(move || writer_loop(me, peer, rx, shared))
+            .expect("spawn egress writer");
+        EgressLink { tx, handle }
+    }
+
+    /// Queues one encoded frame without blocking. Overflow (or a link
+    /// already torn down) drops the frame, counts it, and recycles the
+    /// buffer.
+    pub fn send(&self, frame: BytesMut, shared: &EgressShared) {
+        match self.tx.try_send(frame) {
+            Ok(()) => {}
+            Err(TrySendError::Full(f)) | Err(TrySendError::Disconnected(f)) => {
+                shared.stats.queue_drops.fetch_add(1, Ordering::Relaxed);
+                shared.pool.put(f);
+            }
+        }
+    }
+
+    /// Closes the queue and joins the writer. The dropped sender wakes the
+    /// writer deterministically; it drains what is already queued (stop
+    /// flag permitting) and exits.
+    pub fn close(self) {
+        let EgressLink { tx, handle } = self;
+        drop(tx);
+        let _ = handle.join();
+    }
+}
+
+fn writer_loop(me: Addr, peer: SocketAddr, rx: Receiver<BytesMut>, shared: Arc<EgressShared>) {
+    let mut conn: Option<TcpStream> = None;
+    let mut batch: Vec<BytesMut> = Vec::with_capacity(MAX_BATCH);
+    // Block for the next frame; a dropped sender ends the link.
+    while let Ok(first) = rx.recv() {
+        batch.push(first);
+        // Coalesce everything else already queued.
+        while batch.len() < MAX_BATCH {
+            match rx.try_recv() {
+                Some(f) => batch.push(f),
+                None => break,
+            }
+        }
+        if shared.stop.load(Ordering::Relaxed) {
+            // Shutting down: don't start connects or writes, just account.
+            shared.stats.conn_drops.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        } else {
+            if conn.is_none() {
+                conn = connect(me, peer, &shared);
+            }
+            let delivered = match conn.as_mut() {
+                Some(stream) => write_batch(stream, &batch, &shared),
+                None => 0,
+            };
+            if delivered < batch.len() {
+                // Broken or wedged: drop the link so a later frame retries
+                // a fresh connect (the peer may have restarted).
+                conn = None;
+                shared
+                    .stats
+                    .conn_drops
+                    .fetch_add((batch.len() - delivered) as u64, Ordering::Relaxed);
+            }
+        }
+        for buf in batch.drain(..) {
+            shared.pool.put(buf);
+        }
+    }
+}
+
+/// Connects with a timeout and writes the 8-byte sender-address preamble.
+fn connect(me: Addr, peer: SocketAddr, shared: &EgressShared) -> Option<TcpStream> {
+    let mut stream = TcpStream::connect_timeout(&peer, CONNECT_TIMEOUT).ok()?;
+    stream.set_nodelay(true).ok();
+    stream.set_write_timeout(Some(WRITE_TIMEOUT)).ok();
+    let pre = me.0.to_le_bytes();
+    let mut written = 0;
+    let mut stalls = 0u32;
+    while written < pre.len() {
+        match stream.write(&pre[written..]) {
+            Ok(0) => return None,
+            Ok(n) => {
+                written += n;
+                stalls = 0;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                stalls += 1;
+                if stalls > MAX_WRITE_STALLS || shared.stop.load(Ordering::Relaxed) {
+                    return None;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return None,
+        }
+    }
+    Some(stream)
+}
+
+/// Writes the whole batch with vectored syscalls, handling partial writes
+/// across frame boundaries. Returns the number of frames fully written.
+fn write_batch(stream: &mut TcpStream, batch: &[BytesMut], shared: &EgressShared) -> usize {
+    let mut idx = 0; // first frame not yet fully written
+    let mut off = 0; // bytes of frame `idx` already written
+    let mut stalls = 0u32;
+    while idx < batch.len() {
+        let mut slices = Vec::with_capacity(batch.len() - idx);
+        slices.push(IoSlice::new(&batch[idx][off..]));
+        for frame in &batch[idx + 1..] {
+            slices.push(IoSlice::new(frame));
+        }
+        match stream.write_vectored(&slices) {
+            Ok(0) => return idx,
+            Ok(mut n) => {
+                shared.stats.writes.fetch_add(1, Ordering::Relaxed);
+                stalls = 0;
+                while n > 0 && idx < batch.len() {
+                    let remaining = batch[idx].len() - off;
+                    if n >= remaining {
+                        n -= remaining;
+                        off = 0;
+                        idx += 1;
+                        shared.stats.frames.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        off += n;
+                        n = 0;
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                stalls += 1;
+                if stalls > MAX_WRITE_STALLS || shared.stop.load(Ordering::Relaxed) {
+                    return idx;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return idx,
+        }
+    }
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    fn shared() -> Arc<EgressShared> {
+        Arc::new(EgressShared::new(Arc::new(AtomicBool::new(false))))
+    }
+
+    fn frame(bytes: &[u8], shared: &EgressShared) -> BytesMut {
+        let mut b = shared.pool.get();
+        b.extend_from_slice(bytes);
+        b
+    }
+
+    /// Reads everything after the 8-byte preamble until EOF.
+    fn drain_after_preamble(listener: std::net::TcpListener) -> Vec<u8> {
+        let (mut s, _) = listener.accept().unwrap();
+        let mut pre = [0u8; 8];
+        s.read_exact(&mut pre).unwrap();
+        let mut out = Vec::new();
+        s.read_to_end(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn frames_arrive_in_order_with_preamble() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let peer = listener.local_addr().unwrap();
+        let reader = std::thread::spawn(move || drain_after_preamble(listener));
+        let sh = shared();
+        let link = EgressLink::spawn(Addr(3), peer, sh.clone());
+        for chunk in [b"aaaa".as_slice(), b"bb", b"cccccc"] {
+            link.send(frame(chunk, &sh), &sh);
+        }
+        link.close();
+        assert_eq!(reader.join().unwrap(), b"aaaabbcccccc");
+        assert_eq!(sh.stats.frames.load(Ordering::Relaxed), 3);
+        assert_eq!(sh.stats.queue_drops.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn unreachable_peer_counts_conn_drops_without_blocking_sender() {
+        // A bound-then-dropped listener: connects are refused instantly.
+        let peer = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let sh = shared();
+        let link = EgressLink::spawn(Addr(0), peer, sh.clone());
+        let t0 = std::time::Instant::now();
+        for _ in 0..10 {
+            link.send(frame(b"x", &sh), &sh);
+        }
+        assert!(t0.elapsed() < Duration::from_millis(100), "send must not block");
+        link.close();
+        assert_eq!(
+            sh.stats.conn_drops.load(Ordering::Relaxed)
+                + sh.stats.queue_drops.load(Ordering::Relaxed),
+            10
+        );
+        assert_eq!(sh.stats.frames.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn bursts_coalesce_into_fewer_syscalls() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let peer = listener.local_addr().unwrap();
+        let reader = std::thread::spawn(move || drain_after_preamble(listener));
+        let sh = shared();
+        let link = EgressLink::spawn(Addr(1), peer, sh.clone());
+        let n = 512u64;
+        for _ in 0..n {
+            link.send(frame(b"0123456789", &sh), &sh);
+        }
+        link.close();
+        let got = reader.join().unwrap();
+        assert_eq!(got.len(), 10 * n as usize, "no frame lost below queue capacity");
+        let frames = sh.stats.frames.load(Ordering::Relaxed);
+        let writes = sh.stats.writes.load(Ordering::Relaxed);
+        assert_eq!(frames, n);
+        assert!(writes <= frames, "coalescing can never need more syscalls than frames");
+    }
+}

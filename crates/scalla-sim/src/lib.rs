@@ -13,7 +13,11 @@
 //!   real locking and queueing code paths under true concurrency.
 //! * [`tcp`] — the real-socket runtime: the same nodes again, but every
 //!   message crosses a localhost `TcpStream` through the binary wire
-//!   codec and frame decoder.
+//!   codec and frame decoder. Sends never block the protocol thread:
+//!   each peer gets a bounded egress queue drained by a writer thread
+//!   that coalesces bursts into single vectored writes (see DESIGN.md
+//!   §4, "Runtime tiers"); drops at any layer are counted and surfaced
+//!   via [`NetCounters`](metrics::NetCounters).
 //! * [`workload`] — synthetic workload generators shaped like the paper's
 //!   motivating load: BaBar/ROOT analysis jobs performing "several
 //!   meta-data operations on dozens of files per job" (§II-A), bulk
@@ -22,6 +26,7 @@
 //!   distributions for the experiment tables.
 
 pub mod cluster;
+mod egress;
 pub mod live;
 pub mod metrics;
 pub mod tcp;
@@ -30,6 +35,6 @@ pub mod workload;
 
 pub use cluster::{ClusterConfig, SimCluster};
 pub use live::LiveNet;
-pub use metrics::{summarize, LatencySummary};
+pub use metrics::{summarize, EgressCounters, LatencySummary, NetCounters};
 pub use tcp::TcpNet;
 pub use workload::{analysis_job, make_catalog, WorkloadConfig, ZipfSampler};

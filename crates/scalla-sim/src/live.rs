@@ -9,11 +9,13 @@
 //! Message latency is whatever the channel costs (microseconds), which is
 //! exactly the regime the paper's cmsd operates in on a LAN.
 
+use crate::metrics::NetCounters;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use scalla_proto::{Addr, Msg};
 use scalla_simnet::{NetCtx, Node};
 use scalla_util::{Clock, Nanos, SystemClock};
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -29,6 +31,7 @@ struct LiveCtx<'a> {
     me: Addr,
     clock: &'a Arc<SystemClock>,
     senders: &'a [Sender<Envelope>],
+    drops: &'a [Arc<AtomicU64>],
     timers: &'a mut BinaryHeap<std::cmp::Reverse<(Nanos, u64)>>,
     rng_state: &'a mut u64,
 }
@@ -42,8 +45,11 @@ impl NetCtx for LiveCtx<'_> {
     }
     fn send(&mut self, to: Addr, msg: Msg) {
         if let Some(tx) = self.senders.get(to.0 as usize) {
-            // A full or disconnected mailbox models a dead peer: drop.
-            let _ = tx.try_send(Envelope::Deliver { from: self.me, msg });
+            // A full or disconnected mailbox models a dead peer: drop,
+            // but keep the books.
+            if tx.try_send(Envelope::Deliver { from: self.me, msg }).is_err() {
+                self.drops[to.0 as usize].fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
     fn set_timer(&mut self, delay: Nanos, token: u64) {
@@ -63,6 +69,7 @@ impl NetCtx for LiveCtx<'_> {
 pub struct LiveNet {
     clock: Arc<SystemClock>,
     senders: Vec<Sender<Envelope>>,
+    drops: Vec<Arc<AtomicU64>>,
     pending: Vec<Option<PendingNode>>,
     handles: Vec<Option<JoinHandle<Box<dyn Node>>>>,
     started: bool,
@@ -74,6 +81,7 @@ impl LiveNet {
         LiveNet {
             clock: Arc::new(SystemClock::new()),
             senders: Vec::new(),
+            drops: Vec::new(),
             pending: Vec::new(),
             handles: Vec::new(),
             started: false,
@@ -91,6 +99,7 @@ impl LiveNet {
         let (tx, rx) = bounded::<Envelope>(65_536);
         let addr = Addr(self.senders.len() as u64);
         self.senders.push(tx);
+        self.drops.push(Arc::new(AtomicU64::new(0)));
         self.pending.push(Some((node, rx)));
         self.handles.push(None);
         addr
@@ -101,11 +110,13 @@ impl LiveNet {
         assert!(!self.started, "start once");
         self.started = true;
         let senders = self.senders.clone();
+        let all_drops = self.drops.clone();
         for (i, slot) in self.pending.iter_mut().enumerate() {
             let (mut node, rx) = slot.take().expect("un-started node");
             let me = Addr(i as u64);
             let clock = self.clock.clone();
             let senders = senders.clone();
+            let drops = all_drops.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("scalla-node-{i}"))
                 .spawn(move || {
@@ -116,6 +127,7 @@ impl LiveNet {
                             me,
                             clock: &clock,
                             senders: &senders,
+                            drops: &drops,
                             timers: &mut timers,
                             rng_state: &mut rng_state,
                         };
@@ -138,6 +150,7 @@ impl LiveNet {
                                 me,
                                 clock: &clock,
                                 senders: &senders,
+                                drops: &drops,
                                 timers: &mut timers,
                                 rng_state: &mut rng_state,
                             };
@@ -156,6 +169,7 @@ impl LiveNet {
                                     me,
                                     clock: &clock,
                                     senders: &senders,
+                                    drops: &drops,
                                     timers: &mut timers,
                                     rng_state: &mut rng_state,
                                 };
@@ -188,7 +202,18 @@ impl LiveNet {
     /// Sends a message into the network from a synthetic external address.
     pub fn inject(&self, from: Addr, to: Addr, msg: Msg) {
         if let Some(tx) = self.senders.get(to.0 as usize) {
-            let _ = tx.try_send(Envelope::Deliver { from, msg });
+            if tx.try_send(Envelope::Deliver { from, msg }).is_err() {
+                self.drops[to.0 as usize].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Delivery counters (mailbox overflow drops per node; this runtime
+    /// has no wire, so the egress section stays zero).
+    pub fn counters(&self) -> NetCounters {
+        NetCounters {
+            mailbox_drops: self.drops.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            egress: Default::default(),
         }
     }
 }
@@ -268,6 +293,21 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(5));
         }
         assert_eq!(fired.load(Ordering::SeqCst), 1);
+        net.shutdown();
+    }
+
+    #[test]
+    fn mailbox_overflow_is_counted() {
+        let mut net = LiveNet::new();
+        let a = net.add_node(Box::new(Echo));
+        // Not started: nothing drains the mailbox, so the bound is reached
+        // and the overflow past it is counted, not silently discarded.
+        for _ in 0..65_537 {
+            net.inject(Addr(99), a, ServerMsg::CloseOk.into());
+        }
+        assert_eq!(net.counters().mailbox_drops[a.0 as usize], 1);
+        assert_eq!(net.counters().total_mailbox_drops(), 1);
+        net.start();
         net.shutdown();
     }
 

@@ -1,7 +1,83 @@
-//! Aggregation of client records into experiment-grade summaries.
+//! Aggregation of client records into experiment-grade summaries, plus
+//! runtime wire/queue counters for the live and TCP tiers.
 
 use scalla_client::{OpOutcome, OpResult};
 use scalla_util::{Histogram, Nanos};
+
+/// Egress-pipeline counters for a real-socket runtime.
+///
+/// `frames / writes` is the coalescing ratio: how many frames the writer
+/// threads shipped per vectored-write syscall. Drops are explicit — the
+/// runtime never blocks a protocol thread to avoid them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EgressCounters {
+    /// Frames fully written to a socket.
+    pub frames: u64,
+    /// Vectored write syscalls issued.
+    pub writes: u64,
+    /// Frames dropped because a peer's outbound queue was full.
+    pub queue_drops: u64,
+    /// Frames dropped because the peer was unreachable or stalled past
+    /// the write budget.
+    pub conn_drops: u64,
+    /// Encode buffers served from the reuse pool.
+    pub pool_hits: u64,
+    /// Encode buffers that had to be freshly allocated.
+    pub pool_misses: u64,
+}
+
+impl EgressCounters {
+    /// Frames shipped per write syscall (0 when nothing was written).
+    pub fn frames_per_write(&self) -> f64 {
+        if self.writes == 0 {
+            0.0
+        } else {
+            self.frames as f64 / self.writes as f64
+        }
+    }
+
+    /// All frames dropped by the egress pipeline.
+    pub fn total_drops(&self) -> u64 {
+        self.queue_drops + self.conn_drops
+    }
+}
+
+/// Per-runtime delivery counters: inbound mailbox overflow per node plus
+/// the egress pipeline totals (zero for runtimes without a wire).
+#[derive(Clone, Debug, Default)]
+pub struct NetCounters {
+    /// Frames dropped at each node's inbound mailbox, indexed by address.
+    pub mailbox_drops: Vec<u64>,
+    /// Outbound pipeline counters (all nodes aggregated).
+    pub egress: EgressCounters,
+}
+
+impl NetCounters {
+    /// Total inbound mailbox drops across all nodes.
+    pub fn total_mailbox_drops(&self) -> u64 {
+        self.mailbox_drops.iter().sum()
+    }
+
+    /// One-line diagnostics row.
+    pub fn row(&self) -> String {
+        format!(
+            "frames={} writes={} frames/write={:.2} queue_drops={} conn_drops={} \
+             mailbox_drops={} pool_hit_rate={:.2}",
+            self.egress.frames,
+            self.egress.writes,
+            self.egress.frames_per_write(),
+            self.egress.queue_drops,
+            self.egress.conn_drops,
+            self.total_mailbox_drops(),
+            if self.egress.pool_hits + self.egress.pool_misses == 0 {
+                0.0
+            } else {
+                self.egress.pool_hits as f64
+                    / (self.egress.pool_hits + self.egress.pool_misses) as f64
+            },
+        )
+    }
+}
 
 /// A latency distribution plus outcome counts.
 pub struct LatencySummary {
@@ -118,6 +194,29 @@ mod tests {
         assert_eq!(s.mean(), Nanos::from_micros(200));
         assert!((s.mean_redirects() - 2.0).abs() < 1e-9);
         assert!(s.row().contains("ok=2"));
+    }
+
+    #[test]
+    fn net_counters_summarize_ratio_and_drops() {
+        let c = NetCounters {
+            mailbox_drops: vec![0, 3, 1],
+            egress: EgressCounters {
+                frames: 120,
+                writes: 30,
+                queue_drops: 2,
+                conn_drops: 5,
+                pool_hits: 90,
+                pool_misses: 10,
+            },
+        };
+        assert_eq!(c.total_mailbox_drops(), 4);
+        assert_eq!(c.egress.total_drops(), 7);
+        assert!((c.egress.frames_per_write() - 4.0).abs() < 1e-9);
+        let row = c.row();
+        assert!(row.contains("frames/write=4.00"), "{row}");
+        assert!(row.contains("mailbox_drops=4"), "{row}");
+        // Degenerate case: nothing written yet.
+        assert_eq!(EgressCounters::default().frames_per_write(), 0.0);
     }
 
     #[test]

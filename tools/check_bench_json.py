@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Validates BENCH_tcp.json (written by `cargo bench -p bench --bench
+tcp_wire`) against the expected schema and sanity bounds.
+
+Usage: python3 tools/check_bench_json.py BENCH_tcp.json [--smoke]
+
+--smoke relaxes the performance assertions for scaled-down CI runs
+(tiny bursts on a loaded shared runner may not coalesce), but the
+schema must always hold.
+"""
+import json
+import sys
+
+NUM = (int, float)
+
+EGRESS_KEYS = {
+    "frames": int,
+    "writes": int,
+    "frames_per_write": NUM,
+    "queue_drops": int,
+    "conn_drops": int,
+    "pool_hits": int,
+    "pool_misses": int,
+}
+
+
+def fail(msg: str) -> None:
+    sys.exit(f"check_bench_json: FAIL: {msg}")
+
+
+def check_keys(obj: dict, spec: dict, where: str) -> None:
+    for key, typ in spec.items():
+        if key not in obj:
+            fail(f"{where}: missing key {key!r}")
+        if not isinstance(obj[key], typ):
+            fail(f"{where}.{key}: expected {typ}, got {type(obj[key]).__name__}")
+
+
+def main() -> None:
+    args = [a for a in sys.argv[1:] if a != "--smoke"]
+    smoke = "--smoke" in sys.argv[1:]
+    path = args[0] if args else "BENCH_tcp.json"
+    with open(path) as fh:
+        doc = json.load(fh)
+
+    check_keys(
+        doc,
+        {"bench": str, "mode": str, "cluster": dict, "burst": dict, "frames_per_syscall": NUM},
+        "top",
+    )
+    if doc["bench"] != "tcp_wire":
+        fail(f"bench is {doc['bench']!r}, expected 'tcp_wire'")
+    if doc["mode"] not in ("smoke", "full"):
+        fail(f"mode is {doc['mode']!r}")
+
+    cluster = doc["cluster"]
+    check_keys(
+        cluster,
+        {
+            "clients": int,
+            "servers": int,
+            "ok": int,
+            "failed": int,
+            "rtt_ns": dict,
+            "ops_per_sec": NUM,
+            "egress": dict,
+            "mailbox_drops": int,
+        },
+        "cluster",
+    )
+    rtt = cluster["rtt_ns"]
+    check_keys(rtt, {"p50": int, "p99": int, "mean": int, "max": int}, "cluster.rtt_ns")
+    check_keys(cluster["egress"], EGRESS_KEYS, "cluster.egress")
+
+    burst = doc["burst"]
+    check_keys(
+        burst,
+        {"senders": int, "expected_frames": int, "egress": dict, "wire_msgs_per_sec": NUM},
+        "burst",
+    )
+    check_keys(burst["egress"], EGRESS_KEYS, "burst.egress")
+
+    # Sanity bounds.
+    if cluster["failed"] != 0:
+        fail(f"cluster ops failed: {cluster['failed']}")
+    if cluster["ok"] <= 0:
+        fail("no successful cluster ops recorded")
+    if rtt["p50"] <= 0:
+        fail("p50 RTT must be positive")
+    if not rtt["p50"] <= rtt["p99"] <= rtt["max"]:
+        fail(f"quantiles out of order: p50={rtt['p50']} p99={rtt['p99']} max={rtt['max']}")
+    drops = burst["egress"]["queue_drops"] + burst["egress"]["conn_drops"]
+    if burst["egress"]["frames"] + drops < burst["expected_frames"]:
+        fail(
+            f"burst frames unaccounted for: {burst['egress']['frames']} written"
+            f" + {drops} dropped < {burst['expected_frames']} expected"
+        )
+
+    ratio = doc["frames_per_syscall"]
+    floor = 1.0 if smoke else 1.0000001
+    op = ">=" if smoke else ">"
+    if not ratio >= floor:
+        fail(f"frames_per_syscall {ratio} not {op} 1.0 ({doc['mode']} mode)")
+
+    print(
+        f"check_bench_json: OK ({doc['mode']}): {cluster['ok']} ops,"
+        f" p50={rtt['p50']}ns p99={rtt['p99']}ns,"
+        f" coalescing {ratio:.2f} frames/syscall"
+    )
+
+
+if __name__ == "__main__":
+    main()
