@@ -1,0 +1,171 @@
+//! Overhead proof for the observability layer (`scalla-obs`).
+//!
+//! The cmsd resolve hot path is the code the paper keeps "linear or
+//! constant time … in all high-use paths" (§VI); bolting metrics onto it
+//! is only acceptable if the instrumented build stays within a few
+//! percent of the no-op build. This bench drives a warm-hit resolve loop
+//! through ONE cache, toggling its handle between `Obs::disabled()` (a
+//! single branch per probe) and `Obs::enabled()` (1-in-64 sampled stage
+//! timers feeding the shared registry) batch by batch. One cache, not
+//! two: with separate instances the allocator hands each a different
+//! memory layout and the "overhead" swings 1–12 % run to run from
+//! cache/TLB aliasing alone; toggling the handle on a single instance
+//! isolates the probe cost. The overhead is the ratio of per-config
+//! *minimum* batch times over many short alternating batches: scheduler
+//! noise on a 1-core container is strictly additive, so the minimum over
+//! enough ~10 ms batches converges on the undisturbed cost of each
+//! config where a mean or per-run median still wobbles by several
+//! percent.
+//!
+//! Results land in `BENCH_obs.json` at the repo root (validated in CI by
+//! `tools/check_bench_json.py`); full mode asserts the relative overhead
+//! stays under 5 %.
+//!
+//! `--test` runs a down-scaled smoke configuration for CI. Single-core
+//! containers inflate the smoke numbers — the 5 % bound is only asserted
+//! in full mode.
+
+use bench::table;
+use scalla_cache::{AccessMode, CacheConfig, NameCache, Waiter};
+use scalla_obs::{Obs, DEFAULT_SAMPLE_EVERY};
+use scalla_util::{ServerSet, VirtualClock};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Scale {
+    mode: &'static str,
+    entries: usize,
+    /// Iterations per batch; each pair runs one noop batch + one
+    /// instrumented batch back to back.
+    iters: u64,
+    pairs: usize,
+}
+
+const SMOKE: Scale = Scale { mode: "smoke", entries: 10_000, iters: 5_000, pairs: 25 };
+const FULL: Scale = Scale { mode: "full", entries: 100_000, iters: 25_000, pairs: 151 };
+
+fn warm_cache(entries: usize) -> (NameCache, Vec<String>) {
+    let clock = Arc::new(VirtualClock::new());
+    let cache = NameCache::new(CacheConfig::default(), clock);
+    let vm = ServerSet::first_n(64);
+    let paths: Vec<String> =
+        (0..entries).map(|i| format!("/store/run{}/f{i}.root", i % 101)).collect();
+    for (i, p) in paths.iter().enumerate() {
+        cache.resolve(p, vm, AccessMode::Read, Waiter::new(1, i as u64));
+        cache.update_have(p, (i % 64) as u8, false);
+    }
+    (cache, paths)
+}
+
+/// One timed batch of `iters` warm-hit resolves; returns ns/op.
+fn run_batch(cache: &NameCache, paths: &[String], iters: u64) -> f64 {
+    let vm = ServerSet::first_n(64);
+    let mut i = 0usize;
+    let t0 = Instant::now();
+    for n in 0..iters {
+        i = (i + 7919) % paths.len();
+        let out = cache.resolve(&paths[i], vm, AccessMode::Read, Waiter::new(2, n));
+        std::hint::black_box(&out);
+    }
+    t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn min_of(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let scale = if smoke { &SMOKE } else { &FULL };
+    println!(
+        "observability overhead ({} mode): warm-hit resolve, disabled vs 1/{} sampled",
+        scale.mode, DEFAULT_SAMPLE_EVERY
+    );
+
+    let (mut cache, paths) = warm_cache(scale.entries);
+    let obs = Obs::enabled();
+
+    // One throwaway pair to fault in the working set, then strictly
+    // alternating timed batches on the same cache, flipping which config
+    // goes first each pair so ordering effects cancel too.
+    run_batch(&cache, &paths, scale.iters);
+    let mut noop = Vec::with_capacity(scale.pairs);
+    let mut inst = Vec::with_capacity(scale.pairs);
+    for pair in 0..scale.pairs {
+        let (a, b) = if pair % 2 == 0 {
+            cache.set_obs(Obs::disabled());
+            let a = run_batch(&cache, &paths, scale.iters);
+            cache.set_obs(obs.clone());
+            (a, run_batch(&cache, &paths, scale.iters))
+        } else {
+            cache.set_obs(obs.clone());
+            let b = run_batch(&cache, &paths, scale.iters);
+            cache.set_obs(Obs::disabled());
+            (run_batch(&cache, &paths, scale.iters), b)
+        };
+        noop.push(a);
+        inst.push(b);
+    }
+    let noop_ns = min_of(&noop);
+    let inst_ns = min_of(&inst);
+    let overhead_pct = (inst_ns / noop_ns - 1.0) * 100.0;
+
+    table(
+        "warm-hit resolve, obs disabled vs enabled",
+        &["config", "entries", "iters/batch", "batches", "min ns/op"],
+        &[
+            vec![
+                "disabled".into(),
+                scale.entries.to_string(),
+                scale.iters.to_string(),
+                scale.pairs.to_string(),
+                format!("{noop_ns:.1}"),
+            ],
+            vec![
+                "enabled (1/64)".into(),
+                scale.entries.to_string(),
+                scale.iters.to_string(),
+                scale.pairs.to_string(),
+                format!("{inst_ns:.1}"),
+            ],
+        ],
+    );
+    println!("overhead (ratio of per-config minima): {overhead_pct:+.2}%");
+
+    // The sampled timers must actually have fired: the registry carries a
+    // non-empty resolve histogram or the comparison is meaningless.
+    let text = obs.registry().prometheus_text();
+    let count_line = text
+        .lines()
+        .find(|l| l.starts_with("scalla_stage_ns_count{stage=\"resolve\"}"))
+        .expect("resolve histogram exported");
+    let recorded: u64 = count_line.rsplit(' ').next().unwrap().parse().unwrap();
+    assert!(recorded > 0, "instrumented run recorded nothing: {text}");
+
+    let json = format!(
+        "{{\n  \"bench\": \"obs_overhead\",\n  \"mode\": \"{}\",\n  \
+         \"entries\": {},\n  \"iters_per_batch\": {},\n  \"pairs\": {},\n  \
+         \"sample_every\": {},\n  \"noop_ns_per_op\": {:.2},\n  \
+         \"instrumented_ns_per_op\": {:.2},\n  \"overhead_pct\": {:.3},\n  \
+         \"resolve_samples_recorded\": {}\n}}\n",
+        scale.mode,
+        scale.entries,
+        scale.iters,
+        scale.pairs,
+        DEFAULT_SAMPLE_EVERY,
+        noop_ns,
+        inst_ns,
+        overhead_pct,
+        recorded,
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
+    std::fs::write(out, &json).expect("write BENCH_obs.json");
+    println!("\nwrote {out}");
+
+    if !smoke {
+        assert!(
+            overhead_pct < 5.0,
+            "instrumented resolve exceeds the 5% overhead budget: {overhead_pct:.2}%"
+        );
+    }
+}

@@ -51,6 +51,7 @@ use crate::stats::CacheStats;
 use crate::table::HashTable;
 use crate::window::{TickOutcome, WindowRing};
 use parking_lot::{Mutex, RwLock};
+use scalla_obs::{Obs, Stage};
 use scalla_util::{crc32, Clock, Nanos, ServerId, ServerSet};
 use std::sync::Arc;
 
@@ -114,7 +115,11 @@ pub struct NameCache {
     respq: Mutex<RespQueue>,
     clock: Arc<dyn Clock>,
     config: CacheConfig,
-    stats: CacheStats,
+    /// Shared so observability collectors can read the counters while the
+    /// node owns the cache.
+    stats: Arc<CacheStats>,
+    /// Stage-latency probes; a disabled handle costs one branch per probe.
+    obs: Obs,
 }
 
 impl NameCache {
@@ -139,7 +144,8 @@ impl NameCache {
             respq: Mutex::new(RespQueue::new(config.response_anchors, config.fast_window)),
             clock,
             config,
-            stats: CacheStats::default(),
+            stats: Arc::new(CacheStats::default()),
+            obs: Obs::disabled(),
         }
     }
 
@@ -151,6 +157,19 @@ impl NameCache {
     /// Statistics counters.
     pub fn stats(&self) -> &CacheStats {
         &self.stats
+    }
+
+    /// Shared handle to the statistics counters, for registry collectors
+    /// that outlive the borrow of the cache.
+    pub fn stats_arc(&self) -> Arc<CacheStats> {
+        self.stats.clone()
+    }
+
+    /// Attaches an observability handle. Stage timings (resolve,
+    /// correction apply, window tick, fast-queue wait) are sampled into its
+    /// registry, and stale-reference detections snapshot its flight ring.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Number of shards actually in use (the configured value, clamped).
@@ -209,6 +228,28 @@ impl NameCache {
     ///   overhead (§III-C1).
     #[allow(clippy::too_many_arguments)]
     pub fn resolve_full(
+        &self,
+        path: &str,
+        vm: ServerSet,
+        offline: ServerSet,
+        mode: AccessMode,
+        waiter: Waiter,
+        avoid: ServerSet,
+        refresh: bool,
+    ) -> ResolveOutcome {
+        // Sampled stage timing: most resolutions skip both clock reads.
+        if self.obs.stage_sample(Stage::Resolve) {
+            let t0 = std::time::Instant::now();
+            let out = self.resolve_full_inner(path, vm, offline, mode, waiter, avoid, refresh);
+            self.obs.record_stage(Stage::Resolve, t0.elapsed().as_nanos() as u64);
+            out
+        } else {
+            self.resolve_full_inner(path, vm, offline, mode, waiter, avoid, refresh)
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn resolve_full_inner(
         &self,
         path: &str,
         vm: ServerSet,
@@ -283,10 +324,19 @@ impl NameCache {
         };
 
         // Fetch-time corrections (§III-A4): shared log read-locked, this
-        // shard's memo mutated under the shard lock.
+        // shard's memo mutated under the shard lock. Only a stale entry
+        // (connects happened since it was cached) does correction work, so
+        // only that case is probed — the steady-state hit path pays
+        // nothing and the histogram measures real applications only.
         let correction = {
             let log = self.connects.read();
-            log.correct(&mut shard.memo, &mut state, &mut cn, ta, vm)
+            let timer = (cn != log.nc() && self.obs.stage_sample(Stage::CorrectionApply))
+                .then(std::time::Instant::now);
+            let kind = log.correct(&mut shard.memo, &mut state, &mut cn, ta, vm);
+            if let Some(t0) = timer {
+                self.obs.record_stage(Stage::CorrectionApply, t0.elapsed().as_nanos() as u64);
+            }
+            kind
         };
         match correction {
             CorrectionKind::Clean => CacheStats::bump(&self.stats.corrections_clean),
@@ -451,7 +501,13 @@ impl NameCache {
         if !refs.is_empty() {
             let mut respq = self.respq.lock();
             for (mode, r) in refs {
-                if let Some(waiters) = respq.satisfy(r, slot) {
+                if let Some((waiters, enqueued)) = respq.satisfy_timed(r, slot) {
+                    // Fast-queue wait: how long the earliest waiter sat
+                    // parked before this response released it.
+                    if !waiters.is_empty() && self.obs.stage_sample(Stage::FastqWait) {
+                        let waited = self.clock.now().since(enqueued);
+                        self.obs.record_stage(Stage::FastqWait, waited.0);
+                    }
                     released.extend(waiters.into_iter().map(|w| (w, server)));
                 }
                 let e = shard.slab.get_mut(slot);
@@ -485,6 +541,7 @@ impl NameCache {
         // owning shard. The fast-path guard above is released by now, so
         // re-locking the same shard cannot deadlock.
         CacheStats::bump(&self.stats.stale_refs);
+        self.obs.incident("stale_ref");
         let hash = crc32(path.as_bytes());
         let mut shard = self.shards[self.shard_for(hash)].lock();
         if let Some(slot) = shard.table.lookup(&shard.slab, path, hash) {
@@ -517,6 +574,7 @@ impl NameCache {
     /// shards (`expired` slot indices are shard-local, so treat them as a
     /// count, not as addresses).
     pub fn tick(&self) -> TickOutcome {
+        let tick_timer = self.obs.stage_sample(Stage::WindowTick).then(std::time::Instant::now);
         let mut merged = TickOutcome::default();
         for shard in self.shards.iter() {
             let mut shard = shard.lock();
@@ -530,6 +588,9 @@ impl NameCache {
         }
         CacheStats::add(&self.stats.evictions, merged.expired.len() as u64);
         CacheStats::add(&self.stats.rechained, merged.rechained as u64);
+        if let Some(t0) = tick_timer {
+            self.obs.record_stage(Stage::WindowTick, t0.elapsed().as_nanos() as u64);
+        }
         merged
     }
 

@@ -131,15 +131,23 @@ impl RespQueue {
     /// The anchor is freed and the association severed. Returns `None` if
     /// the association was already gone.
     pub fn satisfy(&mut self, r: RespRef, slot: u32) -> Option<Vec<Waiter>> {
+        self.satisfy_timed(r, slot).map(|(waiters, _)| waiters)
+    }
+
+    /// [`RespQueue::satisfy`], additionally returning when the anchor
+    /// acquired its first waiter — the release latency observed by the
+    /// fastest-waiting client is `now - enqueued`.
+    pub fn satisfy_timed(&mut self, r: RespRef, slot: u32) -> Option<(Vec<Waiter>, Nanos)> {
         let a = self.anchors.get_mut(r.anchor as usize)?;
         if !a.busy || a.assoc != r.assoc || a.slot != slot {
             return None;
         }
         let waiters = std::mem::take(&mut a.waiters);
+        let enqueued = a.enqueued;
         a.busy = false;
         a.assoc = a.assoc.wrapping_add(1);
         self.free.push(r.anchor);
-        Some(waiters)
+        Some((waiters, enqueued))
     }
 
     /// The 133 ms sweep: removes every request older than the fast window

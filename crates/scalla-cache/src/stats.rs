@@ -98,6 +98,16 @@ impl CacheStats {
         }
     }
 
+    /// Mirrors every counter into an observability registry under the
+    /// given label set (e.g. `[("node", "3")]` so multiple cmsds can share
+    /// one registry). `Counter::set` keeps re-exports idempotent.
+    pub fn export_into(&self, reg: &scalla_obs::Registry, labels: &[(&str, &str)]) {
+        let snap = self.snapshot();
+        for (name, value) in snap.fields() {
+            reg.counter(name, labels).set(value);
+        }
+    }
+
     /// Human-readable multi-line dump for experiment logs.
     pub fn report(&self) -> String {
         let g = CacheStats::get;
@@ -167,6 +177,52 @@ pub struct StatsSnapshot {
 }
 
 impl StatsSnapshot {
+    /// Every counter as a `(stable metric name, value)` pair — the single
+    /// source of truth for both JSON and registry export, so a new counter
+    /// added here automatically reaches every sink.
+    pub fn fields(&self) -> [(&'static str, u64); 17] {
+        [
+            ("scalla_cache_lookups_total", self.lookups),
+            ("scalla_cache_hits_total", self.hits),
+            ("scalla_cache_misses_total", self.misses),
+            ("scalla_cache_creates_total", self.creates),
+            ("scalla_cache_evictions_total", self.evictions),
+            ("scalla_cache_collected_total", self.collected),
+            ("scalla_cache_rechained_total", self.rechained),
+            ("scalla_cache_corrections_clean_total", self.corrections_clean),
+            ("scalla_cache_corrections_memo_total", self.corrections_memo),
+            ("scalla_cache_corrections_computed_total", self.corrections_computed),
+            ("scalla_cache_resizes_total", self.resizes),
+            ("scalla_cache_queued_waiters_total", self.queued_waiters),
+            ("scalla_cache_fast_releases_total", self.fast_releases),
+            ("scalla_cache_queue_timeouts_total", self.queue_timeouts),
+            ("scalla_cache_queue_full_total", self.queue_full),
+            ("scalla_cache_stale_refs_total", self.stale_refs),
+            ("scalla_cache_refreshes_total", self.refreshes),
+        ]
+    }
+
+    /// Serializes the snapshot as a flat JSON object (the serde shim is a
+    /// no-op, so the monitoring format is rendered by hand). Keys use the
+    /// short field names, plus the two derived ratios.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push('{');
+        for (name, value) in self.fields() {
+            let key = name
+                .strip_prefix("scalla_cache_")
+                .and_then(|k| k.strip_suffix("_total"))
+                .expect("metric names share the scalla_cache_*_total shape");
+            out.push_str(&format!("\"{key}\": {value}, "));
+        }
+        out.push_str(&format!(
+            "\"hit_ratio\": {:.6}, \"correction_memo_ratio\": {:.6}}}",
+            self.hit_ratio(),
+            self.correction_memo_ratio()
+        ));
+        out
+    }
+
     /// Cache hit ratio over resolutions, in `[0, 1]`.
     pub fn hit_ratio(&self) -> f64 {
         if self.lookups == 0 {
@@ -255,5 +311,35 @@ mod tests {
         let empty = StatsSnapshot::default();
         assert_eq!(empty.hit_ratio(), 0.0);
         assert_eq!(empty.correction_memo_ratio(), 1.0);
+    }
+
+    #[test]
+    fn snapshot_json_carries_every_counter() {
+        let s = CacheStats::default();
+        CacheStats::add(&s.lookups, 10);
+        CacheStats::add(&s.hits, 4);
+        CacheStats::add(&s.stale_refs, 2);
+        let json = s.snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"lookups\": 10"), "{json}");
+        assert!(json.contains("\"hits\": 4"), "{json}");
+        assert!(json.contains("\"stale_refs\": 2"), "{json}");
+        assert!(json.contains("\"hit_ratio\": 0.4"), "{json}");
+        // Flat object: one key per counter plus the two ratios, no nesting.
+        assert_eq!(json.matches("\":").count(), 17 + 2, "{json}");
+        assert_eq!(json.matches('{').count(), 1, "{json}");
+    }
+
+    #[test]
+    fn export_mirrors_counters_into_registry() {
+        let s = CacheStats::default();
+        CacheStats::add(&s.lookups, 7);
+        let reg = scalla_obs::Registry::new();
+        s.export_into(&reg, &[("node", "3")]);
+        CacheStats::add(&s.lookups, 1);
+        s.export_into(&reg, &[("node", "3")]); // set(): latest snapshot wins
+        let text = reg.prometheus_text();
+        assert!(text.contains("scalla_cache_lookups_total{node=\"3\"} 8"), "{text}");
+        assert!(text.contains("scalla_cache_stale_refs_total{node=\"3\"} 0"), "{text}");
     }
 }

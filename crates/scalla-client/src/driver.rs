@@ -2,6 +2,7 @@
 
 use crate::directory::Directory;
 use bytes::Bytes;
+use scalla_obs::{Obs, SpanEvent, Stage, TraceId};
 use scalla_proto::{Addr, ClientMsg, ErrCode, Msg, ServerMsg};
 use scalla_simnet::{NetCtx, Node};
 use scalla_util::Nanos;
@@ -107,6 +108,8 @@ pub struct OpResult {
     pub refreshes: u32,
     /// Name of the data server that served the request, if any.
     pub server: Option<String>,
+    /// The trace id minted for this operation (0 in pre-trace records).
+    pub trace_id: u64,
     /// Directory entries (List operations only).
     pub entries: Vec<String>,
     /// Bytes returned by the read (OpenRead operations only).
@@ -202,6 +205,13 @@ pub struct ClientNode {
     pending_entries: Vec<String>,
     pending_data: Option<Bytes>,
     done: bool,
+    // Trace id of the in-flight operation; reused across redirect legs,
+    // retries, and refresh walks so every hop shares one trace.
+    trace: u64,
+    // When the most recent tracked request left, for the redirect-hop
+    // latency histogram.
+    hop_sent: Nanos,
+    obs: Obs,
 }
 
 impl ClientNode {
@@ -227,7 +237,16 @@ impl ClientNode {
             pending_entries: Vec::new(),
             pending_data: None,
             done: false,
+            trace: 0,
+            hop_sent: Nanos::ZERO,
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Attaches an observability handle. Spans and redirect-hop timings
+    /// start flowing; the disabled default costs one branch per probe.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Completed operation records.
@@ -252,7 +271,9 @@ impl ClientNode {
         self.last_request = Some(msg.clone());
         self.target = to;
         self.timeout_gen += 1;
+        self.hop_sent = ctx.now();
         ctx.set_timer(self.cfg.request_timeout, tok::TIMEOUT_BASE + self.timeout_gen);
+        ctx.set_trace(self.trace);
         ctx.send(to, msg);
     }
 
@@ -268,6 +289,9 @@ impl ClientNode {
         self.timeouts_this_op = 0;
         self.refresh_walk = false;
         self.avoid = None;
+        // One nonzero trace id per operation; every redirect leg, retry and
+        // refresh walk of this op rides the same id through the envelope.
+        self.trace = ctx.rand_u64() | 1;
         let op = self.current_op().clone();
         match op {
             ClientOp::Sleep { duration } => {
@@ -283,6 +307,7 @@ impl ClientNode {
                     waits: 0,
                     refreshes: 0,
                     server: None,
+                    trace_id: self.trace,
                     entries: Vec::new(),
                     data: None,
                 });
@@ -320,16 +345,36 @@ impl ClientNode {
     fn finish_op(&mut self, ctx: &mut dyn NetCtx, outcome: OpOutcome, server: Option<String>) {
         // Cancel the outstanding timeout by bumping the generation.
         self.timeout_gen += 1;
+        let end = ctx.now();
+        if self.obs.is_enabled() {
+            let verdict = match &outcome {
+                OpOutcome::Ok => "ok",
+                OpOutcome::NotFound => "notfound",
+                OpOutcome::Error(_) => "error",
+                OpOutcome::GaveUp => "gave_up",
+            };
+            self.obs.span(
+                SpanEvent::new(TraceId(self.trace), ctx.me().0, "client_op")
+                    .verdict(verdict)
+                    .depth(self.redirects as u64)
+                    .at(end.0)
+                    .took(end.since(self.start).0),
+            );
+            if outcome == OpOutcome::GaveUp {
+                self.obs.incident("give_up");
+            }
+        }
         self.results.push(OpResult {
             op_index: self.op_index,
             path: self.current_op().path().to_string(),
             start: self.start,
-            end: ctx.now(),
+            end,
             outcome,
             redirects: self.redirects,
             waits: self.waits,
             refreshes: self.refreshes,
             server,
+            trace_id: self.trace,
             entries: std::mem::take(&mut self.pending_entries),
             data: self.pending_data.take(),
         });
@@ -409,6 +454,9 @@ impl Node for ClientNode {
         match reply {
             ServerMsg::Redirect { host } => {
                 self.redirects += 1;
+                if self.obs.stage_sample(Stage::RedirectHop) {
+                    self.obs.record_stage(Stage::RedirectHop, ctx.now().since(self.hop_sent).0);
+                }
                 match self.cfg.directory.addr_of(&host) {
                     Some(addr) => {
                         let msg = ClientMsg::Open {
@@ -511,6 +559,7 @@ impl Node for ClientNode {
                 // The target stopped answering. Fail over to the next
                 // manager and restart the walk from the top. The budget is
                 // per operation: two passes over the manager list.
+                self.obs.incident("timeout");
                 self.timeouts_this_op += 1;
                 if self.timeouts_this_op as usize > self.cfg.managers.len() * 2 {
                     self.finish_op(ctx, OpOutcome::GaveUp, None);

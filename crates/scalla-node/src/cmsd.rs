@@ -14,6 +14,7 @@
 use crate::server::tokens;
 use scalla_cache::{AccessMode, CacheConfig, NameCache, Resolution, Waiter};
 use scalla_cluster::{LoginOutcome, Membership, MembershipConfig, SelectionPolicy, Selector};
+use scalla_obs::{Obs, SpanEvent, TraceId};
 use scalla_proto::{Addr, ClientMsg, CmsMsg, ErrCode, Msg, NodeRoleTag, ServerMsg, NO_CLIENT};
 use scalla_simnet::{NetCtx, Node};
 use scalla_util::{crc32, Clock, Nanos, ServerId, ServerSet, MAX_SERVERS};
@@ -94,6 +95,7 @@ pub struct CmsdNode {
     name_to_slot: HashMap<String, ServerId>,
     last_heard: [Nanos; MAX_SERVERS],
     next_reqid: u64,
+    obs: Obs,
 }
 
 impl CmsdNode {
@@ -114,7 +116,23 @@ impl CmsdNode {
             name_to_slot: HashMap::new(),
             last_heard: [Nanos::ZERO; MAX_SERVERS],
             next_reqid: 0,
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Attaches an observability handle: the cache samples stage latencies
+    /// into it, resolution decisions become flight-recorder spans, and the
+    /// cache counters are mirrored into its registry at every scrape.
+    pub fn set_obs(&mut self, obs: Obs) {
+        if obs.is_enabled() {
+            let stats = self.cache.stats_arc();
+            let node = self.cfg.name.clone();
+            obs.registry().add_collector(Box::new(move |reg| {
+                stats.export_into(reg, &[("node", node.as_str())]);
+            }));
+        }
+        self.cache.set_obs(obs.clone());
+        self.obs = obs;
     }
 
     /// The node's location cache (harness/statistics access).
@@ -183,6 +201,21 @@ impl CmsdNode {
 
         let out =
             self.cache.resolve_full(path, vm, self.members.offline(), mode, waiter, avoid, refresh);
+
+        if self.obs.is_enabled() {
+            let verdict = match out.resolution {
+                Resolution::Redirect { .. } => "redirect",
+                Resolution::Queued => "queued",
+                Resolution::NotFound => "notfound",
+                Resolution::WaitRetry { .. } => "wait_retry",
+            };
+            self.obs.span(
+                SpanEvent::new(TraceId(ctx.trace()), ctx.me().0, "cms_resolve")
+                    .verdict(verdict)
+                    .depth(out.query.len() as u64)
+                    .at(ctx.now().0),
+            );
+        }
 
         // Step 5: flood the query set; step 6: requeue children we could
         // not reach (no address — should not happen for V_m members, but
@@ -290,6 +323,14 @@ impl CmsdNode {
         };
         self.last_heard[slot as usize] = ctx.now();
         let released = self.cache.update_have_hashed(&path, hash, slot, staging);
+        if self.obs.is_enabled() {
+            self.obs.span(
+                SpanEvent::new(TraceId(ctx.trace()), ctx.me().0, "cms_have")
+                    .verdict(if staging { "staging" } else { "online" })
+                    .depth(released.len() as u64)
+                    .at(ctx.now().0),
+            );
+        }
         for (waiter, srv_slot) in released {
             if waiter.client == NO_CLIENT.0 {
                 continue; // background prepare look-up

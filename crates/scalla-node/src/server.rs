@@ -12,6 +12,7 @@
 //! (§III-C1).
 
 use crate::fs::LocalFs;
+use scalla_obs::{Obs, SpanEvent, TraceId};
 use scalla_proto::{Addr, ClientMsg, CmsMsg, ErrCode, Msg, NodeRoleTag, ServerMsg};
 use scalla_simnet::{NetCtx, Node};
 use scalla_util::Nanos;
@@ -92,6 +93,7 @@ pub struct ServerNode {
     next_handle: u64,
     staging: HashMap<u64, String>,
     next_staging: u64,
+    obs: Obs,
 }
 
 impl ServerNode {
@@ -105,7 +107,14 @@ impl ServerNode {
             next_handle: 0,
             staging: HashMap::new(),
             next_staging: 0,
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Attaches an observability handle; locate answers and opens become
+    /// flight-recorder spans carrying the request's trace id.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// The local store (harness seeding / inspection).
@@ -163,33 +172,48 @@ impl ServerNode {
         hash: u32,
         write: bool,
     ) {
-        match self.fs.get(&path) {
+        let verdict = match self.fs.get(&path) {
             Some(entry) => {
                 let staging = !entry.online;
                 ctx.send(from, CmsMsg::Have { reqid, path: path.clone(), hash, staging }.into());
                 if staging && !write {
                     self.begin_staging(ctx, &path);
                 }
+                if staging {
+                    "have_staging"
+                } else {
+                    "have_online"
+                }
             }
             None => {
                 // Request-rarely-respond: silence is the negative answer.
+                "silent"
             }
+        };
+        if self.obs.is_enabled() {
+            self.obs.span(
+                SpanEvent::new(TraceId(ctx.trace()), ctx.me().0, "srv_locate")
+                    .verdict(verdict)
+                    .at(ctx.now().0),
+            );
         }
     }
 
     fn handle_open(&mut self, ctx: &mut dyn NetCtx, from: Addr, path: String, write: bool) {
-        match self.fs.get(&path) {
+        let verdict = match self.fs.get(&path) {
             Some(entry) if entry.online => {
                 let h = self.next_handle;
                 self.next_handle += 1;
                 self.handles.insert(h, path);
                 ctx.send(from, ServerMsg::OpenOk { handle: h }.into());
+                "open_ok"
             }
             Some(_) => {
                 // MSS-resident: start staging and tell the client how long.
                 let millis = self.cfg.staging_delay.as_millis().max(1);
                 self.begin_staging(ctx, &path);
                 ctx.send(from, ServerMsg::Wait { millis }.into());
+                "wait_staging"
             }
             None if write => {
                 self.fs.create(&path);
@@ -200,6 +224,7 @@ impl ServerNode {
                 self.next_handle += 1;
                 self.handles.insert(h, path);
                 ctx.send(from, ServerMsg::OpenOk { handle: h }.into());
+                "open_created"
             }
             None => {
                 // Stale redirect: the location cache believed we had it.
@@ -212,6 +237,17 @@ impl ServerNode {
                     }
                     .into(),
                 );
+                "stale_redirect"
+            }
+        };
+        if self.obs.is_enabled() {
+            self.obs.span(
+                SpanEvent::new(TraceId(ctx.trace()), ctx.me().0, "srv_open")
+                    .verdict(verdict)
+                    .at(ctx.now().0),
+            );
+            if verdict == "stale_redirect" {
+                self.obs.incident("stale_redirect");
             }
         }
     }

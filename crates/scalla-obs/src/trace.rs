@@ -1,0 +1,267 @@
+//! Request-scoped tracing and the flight recorder.
+//!
+//! A [`TraceId`] is minted by the client when an operation starts and rides
+//! the wire protocol (a version-negotiated frame envelope in
+//! `scalla-proto`) across every cmsd→supervisor→server hop the resolution
+//! takes. Each hop records a [`SpanEvent`] — node, stage, cache verdict,
+//! queue depth, elapsed time — into a bounded per-process
+//! [`FlightRecorder`] ring. The ring can be dumped on demand through the
+//! admin endpoint (`/flight`), and is snapshotted automatically when an
+//! incident (drop, timeout, stale-ref) fires so the spans leading up to
+//! the failure survive subsequent traffic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A compact request-scoped trace identifier. Zero means "untraced".
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Debug)]
+pub struct TraceId(pub u64);
+
+impl TraceId {
+    /// The absent trace id.
+    pub const NONE: TraceId = TraceId(0);
+
+    /// Whether this id traces anything.
+    #[inline]
+    pub fn is_some(self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl std::fmt::Display for TraceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// One hop-level event on a traced request's path.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SpanEvent {
+    /// The request's trace id (may be `NONE` for untraced activity).
+    pub trace: TraceId,
+    /// The recording node's address (`Addr.0`).
+    pub node: u64,
+    /// Which stage of the path this is (`cms_resolve`, `srv_open`, ...).
+    pub stage: &'static str,
+    /// Stage-specific verdict (`redirect`, `queued`, `hit`, `miss`, ...).
+    pub verdict: &'static str,
+    /// Queue depth or another stage-specific magnitude.
+    pub depth: u64,
+    /// Timestamp (node-local nanoseconds) when the event was recorded.
+    pub t_ns: u64,
+    /// Time spent in the stage, nanoseconds (0 when not timed).
+    pub elapsed_ns: u64,
+}
+
+impl SpanEvent {
+    /// A minimal event; fill the rest with the builder-style setters.
+    pub fn new(trace: TraceId, node: u64, stage: &'static str) -> SpanEvent {
+        SpanEvent { trace, node, stage, verdict: "", depth: 0, t_ns: 0, elapsed_ns: 0 }
+    }
+
+    /// Sets the verdict label.
+    #[must_use]
+    pub fn verdict(mut self, v: &'static str) -> SpanEvent {
+        self.verdict = v;
+        self
+    }
+
+    /// Sets the depth/magnitude field.
+    #[must_use]
+    pub fn depth(mut self, d: u64) -> SpanEvent {
+        self.depth = d;
+        self
+    }
+
+    /// Sets the timestamp.
+    #[must_use]
+    pub fn at(mut self, t_ns: u64) -> SpanEvent {
+        self.t_ns = t_ns;
+        self
+    }
+
+    /// Sets the elapsed time.
+    #[must_use]
+    pub fn took(mut self, elapsed_ns: u64) -> SpanEvent {
+        self.elapsed_ns = elapsed_ns;
+        self
+    }
+
+    /// The `/flight` dump line for this event.
+    pub fn render(&self) -> String {
+        format!(
+            "trace={} node={} stage={} verdict={} depth={} t={} elapsed={}",
+            self.trace,
+            self.node,
+            self.stage,
+            if self.verdict.is_empty() { "-" } else { self.verdict },
+            self.depth,
+            self.t_ns,
+            self.elapsed_ns,
+        )
+    }
+}
+
+struct Ring {
+    /// Slot `i` holds the `(seq / cap)`-th overwrite of position `i`.
+    slots: Vec<Option<SpanEvent>>,
+    /// Next write position.
+    head: usize,
+}
+
+/// A bounded ring of recent [`SpanEvent`]s plus the last incident snapshot.
+pub struct FlightRecorder {
+    ring: Mutex<Ring>,
+    cap: usize,
+    recorded: AtomicU64,
+    incident: Mutex<Option<(&'static str, Vec<SpanEvent>)>>,
+    incidents: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder retaining the most recent `cap` spans (min 1).
+    pub fn new(cap: usize) -> FlightRecorder {
+        let cap = cap.max(1);
+        FlightRecorder {
+            ring: Mutex::new(Ring { slots: vec![None; cap], head: 0 }),
+            cap,
+            recorded: AtomicU64::new(0),
+            incident: Mutex::new(None),
+            incidents: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends a span, overwriting the oldest once full.
+    pub fn record(&self, ev: SpanEvent) {
+        let mut ring = self.ring.lock().unwrap();
+        let head = ring.head;
+        ring.slots[head] = Some(ev);
+        ring.head = (head + 1) % self.cap;
+        drop(ring);
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total spans ever recorded (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Total incidents marked.
+    pub fn incidents(&self) -> u64 {
+        self.incidents.load(Ordering::Relaxed)
+    }
+
+    /// The retained spans, oldest first.
+    pub fn dump(&self) -> Vec<SpanEvent> {
+        let ring = self.ring.lock().unwrap();
+        let mut out = Vec::new();
+        for i in 0..self.cap {
+            let idx = (ring.head + i) % self.cap;
+            if let Some(ev) = &ring.slots[idx] {
+                out.push(ev.clone());
+            }
+        }
+        out
+    }
+
+    /// Freezes the current ring contents under an incident label. Only the
+    /// most recent incident snapshot is retained.
+    pub fn mark_incident(&self, reason: &'static str) {
+        let snapshot = self.dump();
+        *self.incident.lock().unwrap() = Some((reason, snapshot));
+        self.incidents.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The most recent incident snapshot, if any.
+    pub fn last_incident(&self) -> Option<(&'static str, Vec<SpanEvent>)> {
+        self.incident.lock().unwrap().clone()
+    }
+
+    /// The `/flight` text dump: live ring, then the last incident section.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# flight: {} recorded, {} retained (cap {}), {} incidents\n",
+            self.recorded(),
+            self.dump().len(),
+            self.cap,
+            self.incidents(),
+        ));
+        for ev in self.dump() {
+            out.push_str(&ev.render());
+            out.push('\n');
+        }
+        if let Some((reason, spans)) = self.last_incident() {
+            out.push_str(&format!("# incident: {reason} ({} spans)\n", spans.len()));
+            for ev in spans {
+                out.push_str(&format!("incident {}\n", ev.render()));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(trace: u64, stage: &'static str) -> SpanEvent {
+        SpanEvent::new(TraceId(trace), 1, stage)
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_in_order() {
+        let fr = FlightRecorder::new(3);
+        for i in 1..=5u64 {
+            fr.record(ev(i, "s"));
+        }
+        let got: Vec<u64> = fr.dump().iter().map(|e| e.trace.0).collect();
+        assert_eq!(got, vec![3, 4, 5]);
+        assert_eq!(fr.recorded(), 5);
+    }
+
+    #[test]
+    fn partial_ring_dumps_only_recorded() {
+        let fr = FlightRecorder::new(8);
+        fr.record(ev(1, "a"));
+        fr.record(ev(2, "b"));
+        let got: Vec<u64> = fr.dump().iter().map(|e| e.trace.0).collect();
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn incident_snapshot_survives_later_traffic() {
+        let fr = FlightRecorder::new(2);
+        fr.record(ev(1, "pre"));
+        fr.mark_incident("timeout");
+        fr.record(ev(2, "post"));
+        fr.record(ev(3, "post"));
+        fr.record(ev(4, "post"));
+        let (reason, spans) = fr.last_incident().expect("incident kept");
+        assert_eq!(reason, "timeout");
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].trace, TraceId(1));
+        assert_eq!(fr.incidents(), 1);
+        let text = fr.render();
+        assert!(text.contains("# incident: timeout"), "{text}");
+    }
+
+    #[test]
+    fn render_lines_are_parseable() {
+        let fr = FlightRecorder::new(4);
+        fr.record(ev(0xabc, "cms_resolve").verdict("redirect").depth(2).at(10).took(5));
+        let text = fr.render();
+        let line = text.lines().nth(1).unwrap();
+        assert!(line.starts_with("trace=0000000000000abc "), "{line}");
+        for field in ["node=1", "stage=cms_resolve", "verdict=redirect", "depth=2", "elapsed=5"] {
+            assert!(line.contains(field), "{line}");
+        }
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let fr = FlightRecorder::new(0);
+        fr.record(ev(1, "s"));
+        assert_eq!(fr.dump().len(), 1);
+    }
+}

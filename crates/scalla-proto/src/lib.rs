@@ -20,5 +20,8 @@ pub mod pool;
 pub mod wire;
 
 pub use msg::{Addr, ClientMsg, CmsMsg, ErrCode, Msg, NodeRoleTag, ServerMsg, NO_CLIENT};
-pub use pool::{encode_frame_pooled, BufferPool};
-pub use wire::{decode_msg, encode_frame, encode_msg, FrameDecoder, WireError};
+pub use pool::{encode_frame_pooled, encode_frame_traced_pooled, BufferPool};
+pub use wire::{
+    decode_msg, decode_msg_traced, encode_frame, encode_frame_traced, encode_msg,
+    encode_msg_traced, FrameDecoder, WireError, TRACE_ENVELOPE_TAG,
+};

@@ -100,6 +100,14 @@ pub fn encode_frame_pooled(msg: &Msg, pool: &BufferPool) -> BytesMut {
     buf
 }
 
+/// [`encode_frame_pooled`] with a trace envelope; a zero `trace` id emits
+/// a plain frame (see `wire::encode_frame_traced`).
+pub fn encode_frame_traced_pooled(msg: &Msg, trace: u64, pool: &BufferPool) -> BytesMut {
+    let mut buf = pool.get();
+    crate::wire::encode_frame_traced(msg, trace, &mut buf);
+    buf
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -9,6 +9,16 @@
 //! The in-process runtimes bypass this codec (they move the enums); it
 //! exists so the protocol can cross real sockets and so the message set has
 //! an explicit, tested serialized form.
+//!
+//! ## Trace envelope (version negotiation)
+//!
+//! A frame may optionally be wrapped in a *trace envelope*: tag byte
+//! [`TRACE_ENVELOPE_TAG`], a `u64` little-endian trace id, then the plain
+//! encoded message. The envelope is negotiated by construction rather than
+//! by handshake: decoders accept both enveloped and plain frames (so an
+//! instrumented node interoperates with an uninstrumented one), and a zero
+//! trace id encodes as a plain frame (so untraced traffic is byte-identical
+//! to the pre-envelope format). Nested envelopes are rejected.
 
 use crate::msg::{ClientMsg, CmsMsg, ErrCode, Msg, NodeRoleTag, ServerMsg};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -41,6 +51,11 @@ impl std::error::Error for WireError {}
 
 /// Upper bound on any length-prefixed field (paths, payloads): 64 MiB.
 const MAX_FIELD: u64 = 64 << 20;
+
+/// Top-level tag marking a trace envelope: `[0x40][u64 trace_id][message]`.
+/// Distinct from the message-family tags (0x10/0x20/0x30) so plain frames
+/// still decode.
+pub const TRACE_ENVELOPE_TAG: u8 = 0x40;
 
 fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_u32_le(s.len() as u32);
@@ -296,14 +311,40 @@ fn encode_cms(m: &CmsMsg, buf: &mut BytesMut) {
     }
 }
 
-/// Decodes one message from `buf`, consuming exactly its bytes.
-pub fn decode_msg(buf: &mut impl Buf) -> Result<Msg, WireError> {
-    match get_u8(buf)? {
-        0x10 => decode_client(buf).map(Msg::Client),
-        0x20 => decode_server(buf).map(Msg::Server),
-        0x30 => decode_cms(buf).map(Msg::Cms),
-        t => Err(WireError::BadTag(t)),
+/// Encodes a message wrapped in a trace envelope. A zero `trace` id encodes
+/// as a plain message — byte-identical to [`encode_msg`] — so untraced
+/// traffic pays nothing and stays decodable by pre-envelope peers.
+pub fn encode_msg_traced(msg: &Msg, trace: u64, buf: &mut BytesMut) {
+    if trace != 0 {
+        buf.put_u8(TRACE_ENVELOPE_TAG);
+        buf.put_u64_le(trace);
     }
+    encode_msg(msg, buf);
+}
+
+/// Decodes one message from `buf`, consuming exactly its bytes. Accepts
+/// both plain and trace-enveloped messages (the trace id is discarded —
+/// use [`decode_msg_traced`] to keep it).
+pub fn decode_msg(buf: &mut impl Buf) -> Result<Msg, WireError> {
+    decode_msg_traced(buf).map(|(_, msg)| msg)
+}
+
+/// Decodes one message plus its trace id (0 when the frame was plain).
+pub fn decode_msg_traced(buf: &mut impl Buf) -> Result<(u64, Msg), WireError> {
+    let mut tag = get_u8(buf)?;
+    let mut trace = 0u64;
+    if tag == TRACE_ENVELOPE_TAG {
+        trace = get_u64(buf)?;
+        // Exactly one envelope: the next tag must open a message family.
+        tag = get_u8(buf)?;
+    }
+    let msg = match tag {
+        0x10 => decode_client(buf).map(Msg::Client)?,
+        0x20 => decode_server(buf).map(Msg::Server)?,
+        0x30 => decode_cms(buf).map(Msg::Cms)?,
+        t => return Err(WireError::BadTag(t)),
+    };
+    Ok((trace, msg))
 }
 
 fn decode_client(buf: &mut impl Buf) -> Result<ClientMsg, WireError> {
@@ -478,7 +519,84 @@ mod tests {
         assert!(matches!(decode_msg(&mut b), Err(WireError::BadLength(_))));
     }
 
+    #[test]
+    fn trace_envelope_roundtrips() {
+        let msg: Msg = CmsMsg::Locate { reqid: 5, path: "/t".into(), hash: 3, write: false }.into();
+        let mut buf = BytesMut::new();
+        encode_msg_traced(&msg, 0xDEAD_BEEF_CAFE_0001, &mut buf);
+        let mut slice = buf.freeze();
+        let (trace, decoded) = decode_msg_traced(&mut slice).expect("decode");
+        assert_eq!(trace, 0xDEAD_BEEF_CAFE_0001);
+        assert_eq!(decoded, msg);
+        assert_eq!(slice.remaining(), 0);
+    }
+
+    #[test]
+    fn zero_trace_encodes_as_plain_frame() {
+        let msg: Msg = ServerMsg::OpenOk { handle: 9 }.into();
+        let mut plain = BytesMut::new();
+        encode_msg(&msg, &mut plain);
+        let mut traced = BytesMut::new();
+        encode_msg_traced(&msg, 0, &mut traced);
+        assert_eq!(plain, traced, "zero trace must be byte-identical to the plain encoding");
+    }
+
+    #[test]
+    fn plain_frames_decode_with_no_trace() {
+        let msg: Msg = ServerMsg::CloseOk.into();
+        let mut buf = BytesMut::new();
+        encode_msg(&msg, &mut buf);
+        let mut slice = buf.freeze();
+        assert_eq!(decode_msg_traced(&mut slice).unwrap(), (0, msg));
+    }
+
+    #[test]
+    fn traced_frames_decode_through_plain_decoder() {
+        // Version negotiation: a decoder that doesn't care about traces
+        // still understands enveloped frames.
+        let msg: Msg = ClientMsg::Stat { path: "/f".into() }.into();
+        let mut buf = BytesMut::new();
+        encode_msg_traced(&msg, 42, &mut buf);
+        let mut slice = buf.freeze();
+        assert_eq!(decode_msg(&mut slice).unwrap(), msg);
+    }
+
+    #[test]
+    fn nested_trace_envelopes_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(TRACE_ENVELOPE_TAG);
+        buf.put_u64_le(1);
+        buf.put_u8(TRACE_ENVELOPE_TAG);
+        buf.put_u64_le(2);
+        encode_msg(&ServerMsg::CloseOk.into(), &mut buf);
+        let mut slice = buf.freeze();
+        assert_eq!(decode_msg_traced(&mut slice), Err(WireError::BadTag(TRACE_ENVELOPE_TAG)));
+    }
+
+    #[test]
+    fn truncated_trace_envelope_errors_not_panics() {
+        let msg: Msg = CmsMsg::Have { reqid: 1, path: "/f".into(), hash: 2, staging: false }.into();
+        let mut buf = BytesMut::new();
+        encode_msg_traced(&msg, 77, &mut buf);
+        let full = buf.freeze();
+        for cut in 0..full.len() {
+            let mut partial = full.slice(..cut);
+            assert!(decode_msg_traced(&mut partial).is_err(), "cut at {cut} must fail");
+        }
+    }
+
     proptest! {
+        #[test]
+        fn traced_roundtrips(trace: u64, reqid: u64, path in "[ -~]{0,32}") {
+            let msg: Msg = CmsMsg::Locate { reqid, path, hash: 1, write: false }.into();
+            let mut buf = BytesMut::new();
+            encode_msg_traced(&msg, trace, &mut buf);
+            let mut slice = buf.freeze();
+            let (got_trace, got) = decode_msg_traced(&mut slice).unwrap();
+            prop_assert_eq!(got_trace, trace);
+            prop_assert_eq!(got, msg);
+        }
+
         #[test]
         fn locate_roundtrips(reqid: u64, path in "[ -~]{0,64}", hash: u32, write: bool) {
             roundtrip(CmsMsg::Locate { reqid, path, hash, write }.into());
@@ -503,9 +621,15 @@ const MAX_FRAME: u32 = (MAX_FIELD as u32) + 1024;
 /// Appends `msg` as a length-prefixed frame (`u32` little-endian length,
 /// then the encoded message) — the stream form for real sockets.
 pub fn encode_frame(msg: &Msg, buf: &mut BytesMut) {
+    encode_frame_traced(msg, 0, buf);
+}
+
+/// [`encode_frame`] with a trace envelope; a zero `trace` id produces a
+/// plain frame.
+pub fn encode_frame_traced(msg: &Msg, trace: u64, buf: &mut BytesMut) {
     let at = buf.len();
     buf.put_u32_le(0); // placeholder
-    encode_msg(msg, buf);
+    encode_msg_traced(msg, trace, buf);
     let len = (buf.len() - at - 4) as u32;
     buf[at..at + 4].copy_from_slice(&len.to_le_bytes());
 }
@@ -543,6 +667,12 @@ impl FrameDecoder {
     /// though the fallible signature differs from `Iterator::next`.
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Result<Option<Msg>, WireError> {
+        Ok(self.next_traced()?.map(|(_, msg)| msg))
+    }
+
+    /// Like [`FrameDecoder::next`] but keeps the frame's trace id (0 for
+    /// plain, pre-envelope frames).
+    pub fn next_traced(&mut self) -> Result<Option<(u64, Msg)>, WireError> {
         if self.buf.len() < 4 {
             return Ok(None);
         }
@@ -556,11 +686,11 @@ impl FrameDecoder {
         }
         let mut frame = self.buf.split_to(total).freeze();
         frame.advance(4);
-        let msg = decode_msg(&mut frame)?;
+        let traced = decode_msg_traced(&mut frame)?;
         if frame.remaining() != 0 {
             return Err(WireError::BadLength(u64::from(len)));
         }
-        Ok(Some(msg))
+        Ok(Some(traced))
     }
 }
 
@@ -594,6 +724,27 @@ mod frame_tests {
             out.push(m);
         }
         assert_eq!(out, msgs);
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn mixed_plain_and_traced_stream_roundtrips() {
+        let msgs = sample_msgs();
+        let mut buf = BytesMut::new();
+        for (i, m) in msgs.iter().enumerate() {
+            encode_frame_traced(m, if i % 2 == 0 { 0x1000 + i as u64 } else { 0 }, &mut buf);
+        }
+        let mut dec = FrameDecoder::new();
+        dec.feed(&buf);
+        let mut out = Vec::new();
+        while let Some(tm) = dec.next_traced().unwrap() {
+            out.push(tm);
+        }
+        assert_eq!(out.len(), msgs.len());
+        for (i, (trace, m)) in out.iter().enumerate() {
+            assert_eq!(*m, msgs[i]);
+            assert_eq!(*trace, if i % 2 == 0 { 0x1000 + i as u64 } else { 0 });
+        }
         assert_eq!(dec.buffered(), 0);
     }
 

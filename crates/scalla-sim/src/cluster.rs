@@ -4,6 +4,7 @@ use scalla_cache::CacheConfig;
 use scalla_client::{ClientConfig, ClientNode, ClientOp, Directory, OpResult};
 use scalla_cluster::{MembershipConfig, NodeId, NodeRole, SelectionPolicy, TreeSpec};
 use scalla_node::{CmsdConfig, CmsdNode, CmsdRole, CnsNode, ServerConfig, ServerNode};
+use scalla_obs::Obs;
 use scalla_proto::Addr;
 use scalla_simnet::{LatencyModel, SimNet};
 use scalla_util::Nanos;
@@ -43,6 +44,10 @@ pub struct ClusterConfig {
     /// Whether to run a Cluster Name Space daemon (footnote 3) and wire
     /// every server's namespace notifications to it.
     pub with_cns: bool,
+    /// Observability handle cloned into every node (managers, supervisors,
+    /// servers, and clients added later). The disabled default costs one
+    /// branch per probe.
+    pub obs: Obs,
 }
 
 impl ClusterConfig {
@@ -62,6 +67,7 @@ impl ClusterConfig {
             heartbeat: Nanos::from_secs(1),
             seed: 42,
             with_cns: false,
+            obs: Obs::disabled(),
         }
     }
 }
@@ -121,7 +127,11 @@ impl SimCluster {
             // A child is offline only after missing several heartbeats.
             c.offline_after = cfg.heartbeat.mul(3).max(c.offline_after);
             c.seed = cfg.seed ^ (m as u64);
-            let addr = net.add_node(Box::new(CmsdNode::new(c, clock.clone())));
+            let mut node = CmsdNode::new(c, clock.clone());
+            if cfg.obs.is_enabled() {
+                node.set_obs(cfg.obs.clone());
+            }
+            let addr = net.add_node(Box::new(node));
             directory.register(&name, addr);
             managers.push(addr);
         }
@@ -152,7 +162,11 @@ impl SimCluster {
                         c.heartbeat = cfg.heartbeat;
                         c.offline_after = cfg.heartbeat.mul(3).max(c.offline_after);
                         c.seed = cfg.seed ^ u64::from(node.id.0) ^ ((r as u64) << 32);
-                        let addr = net.add_node(Box::new(CmsdNode::new(c, clock.clone())));
+                        let mut cmsd = CmsdNode::new(c, clock.clone());
+                        if cfg.obs.is_enabled() {
+                            cmsd.set_obs(cfg.obs.clone());
+                        }
+                        let addr = net.add_node(Box::new(cmsd));
                         directory.register(&name, addr);
                         supervisors.push(addr);
                         addrs.push(addr);
@@ -169,7 +183,11 @@ impl SimCluster {
                     c.staging_delay = cfg.staging_delay;
                     c.heartbeat = cfg.heartbeat;
                     c.cns = cns;
-                    let addr = net.add_node(Box::new(ServerNode::new(c)));
+                    let mut srv = ServerNode::new(c);
+                    if cfg.obs.is_enabled() {
+                        srv.set_obs(cfg.obs.clone());
+                    }
+                    let addr = net.add_node(Box::new(srv));
                     directory.register(&name, addr);
                     servers.push(addr);
                     addr_of.insert(node.id, vec![addr]);
@@ -226,7 +244,11 @@ impl SimCluster {
         ccfg.managers = self.managers.clone();
         ccfg.start_delay = start_delay;
         ccfg.cns = self.cns;
-        let addr = self.net.add_node(Box::new(ClientNode::new(ccfg)));
+        let mut node = ClientNode::new(ccfg);
+        if self.cfg.obs.is_enabled() {
+            node.set_obs(self.cfg.obs.clone());
+        }
+        let addr = self.net.add_node(Box::new(node));
         self.clients.push(addr);
         addr
     }
@@ -237,7 +259,11 @@ impl SimCluster {
         ccfg.managers = self.managers.clone();
         ccfg.cns = self.cns;
         f(&mut ccfg);
-        let addr = self.net.add_node(Box::new(ClientNode::new(ccfg)));
+        let mut node = ClientNode::new(ccfg);
+        if self.cfg.obs.is_enabled() {
+            node.set_obs(self.cfg.obs.clone());
+        }
+        let addr = self.net.add_node(Box::new(node));
         self.clients.push(addr);
         addr
     }
@@ -365,6 +391,41 @@ mod tests {
         assert_eq!(results[0].outcome, OpOutcome::Ok);
         assert_eq!(results[0].redirects, 2, "manager -> supervisor -> server");
         assert_eq!(results[0].server.as_deref(), Some("srv-7"));
+    }
+
+    #[test]
+    fn obs_enabled_cluster_records_stages_and_spans() {
+        let mut cfg = small();
+        cfg.obs = Obs::enabled();
+        let obs = cfg.obs.clone();
+        let mut c = SimCluster::build(cfg);
+        c.seed_file(1, "/data/traced", 64, true);
+        c.settle(Nanos::from_secs(2));
+        let client = c.add_client(
+            vec![ClientOp::Open { path: "/data/traced".into(), write: false }],
+            Nanos::ZERO,
+        );
+        c.start_node(client);
+        c.net.run_for(Nanos::from_secs(10));
+        let results = c.client_results(client);
+        assert_eq!(results[0].outcome, OpOutcome::Ok);
+        assert_ne!(results[0].trace_id, 0, "client minted a trace id");
+
+        // The manager resolved at least once and the client timed a
+        // redirect hop: both stage histograms are non-empty.
+        let text = obs.registry().prometheus_text();
+        assert!(text.contains("scalla_stage_ns_count{stage=\"resolve\"}"), "{text}");
+        let resolve_empty = text.contains("scalla_stage_ns_count{stage=\"resolve\"} 0");
+        assert!(!resolve_empty, "resolve histogram must have samples: {text}");
+        let hop_empty = text.contains("scalla_stage_ns_count{stage=\"redirect_hop\"} 0");
+        assert!(!hop_empty, "redirect-hop histogram must have samples: {text}");
+
+        // The client's trace id shows up in cmsd and client flight spans.
+        let flight = obs.flight().render();
+        let id = format!("{:016x}", results[0].trace_id);
+        assert!(flight.contains(&id), "trace {id} missing from flight:\n{flight}");
+        assert!(flight.contains("stage=cms_resolve"), "{flight}");
+        assert!(flight.contains("stage=client_op"), "{flight}");
     }
 
     #[test]

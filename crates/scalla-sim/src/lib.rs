@@ -24,7 +24,11 @@
 //!   transfers, and create-heavy production.
 //! * [`metrics`] — aggregation of client records into latency
 //!   distributions for the experiment tables.
+//! * [`admin`] — a per-net admin endpoint (one listener thread) serving
+//!   `/metrics`, `/stats`, and `/flight` over a line protocol, backed by
+//!   the shared [`Obs`](scalla_obs::Obs) registry and flight recorder.
 
+pub mod admin;
 pub mod cluster;
 mod egress;
 pub mod live;
@@ -33,6 +37,7 @@ pub mod tcp;
 pub mod trace;
 pub mod workload;
 
+pub use admin::scrape;
 pub use cluster::{ClusterConfig, SimCluster};
 pub use live::LiveNet;
 pub use metrics::{summarize, EgressCounters, LatencySummary, NetCounters};

@@ -9,8 +9,10 @@
 //! Message latency is whatever the channel costs (microseconds), which is
 //! exactly the regime the paper's cmsd operates in on a LAN.
 
+use crate::admin::AdminServer;
 use crate::metrics::NetCounters;
 use crossbeam::channel::{bounded, Receiver, Sender};
+use scalla_obs::Obs;
 use scalla_proto::{Addr, Msg};
 use scalla_simnet::{NetCtx, Node};
 use scalla_util::{Clock, Nanos, SystemClock};
@@ -20,7 +22,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 enum Envelope {
-    Deliver { from: Addr, msg: Msg },
+    Deliver { from: Addr, msg: Msg, trace: u64 },
     Stop,
 }
 
@@ -34,6 +36,10 @@ struct LiveCtx<'a> {
     drops: &'a [Arc<AtomicU64>],
     timers: &'a mut BinaryHeap<std::cmp::Reverse<(Nanos, u64)>>,
     rng_state: &'a mut u64,
+    /// Trace id of the request being handled; sends inherit it, so a
+    /// trace follows the causal chain across hops without any node
+    /// knowing about tracing.
+    trace: u64,
 }
 
 impl NetCtx for LiveCtx<'_> {
@@ -47,7 +53,8 @@ impl NetCtx for LiveCtx<'_> {
         if let Some(tx) = self.senders.get(to.0 as usize) {
             // A full or disconnected mailbox models a dead peer: drop,
             // but keep the books.
-            if tx.try_send(Envelope::Deliver { from: self.me, msg }).is_err() {
+            let env = Envelope::Deliver { from: self.me, msg, trace: self.trace };
+            if tx.try_send(env).is_err() {
                 self.drops[to.0 as usize].fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -63,6 +70,12 @@ impl NetCtx for LiveCtx<'_> {
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^ (z >> 31)
     }
+    fn set_trace(&mut self, trace: u64) {
+        self.trace = trace;
+    }
+    fn trace(&self) -> u64 {
+        self.trace
+    }
 }
 
 /// A running live network.
@@ -73,6 +86,7 @@ pub struct LiveNet {
     pending: Vec<Option<PendingNode>>,
     handles: Vec<Option<JoinHandle<Box<dyn Node>>>>,
     started: bool,
+    admin: Option<AdminServer>,
 }
 
 impl LiveNet {
@@ -85,7 +99,29 @@ impl LiveNet {
             pending: Vec::new(),
             handles: Vec::new(),
             started: false,
+            admin: None,
         }
+    }
+
+    /// Starts the admin endpoint for this net, mirroring the runtime's
+    /// delivery counters into the registry at every scrape. Returns the
+    /// endpoint address. Call at most once, after all nodes are added
+    /// (the counter mirror snapshots the node set).
+    pub fn serve_admin(&mut self, obs: Obs) -> std::io::Result<std::net::SocketAddr> {
+        assert!(obs.is_enabled(), "serve_admin needs an enabled Obs");
+        assert!(self.admin.is_none(), "serve_admin once per net");
+        let drops: Vec<Arc<AtomicU64>> = self.drops.clone();
+        obs.registry().add_collector(Box::new(move |reg| {
+            let counters = NetCounters {
+                mailbox_drops: drops.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+                egress: Default::default(),
+            };
+            counters.export_into(reg);
+        }));
+        let server = AdminServer::spawn(obs)?;
+        let addr = server.addr();
+        self.admin = Some(server);
+        Ok(addr)
     }
 
     /// The shared clock (hand it to `NameCache` etc.).
@@ -130,6 +166,7 @@ impl LiveNet {
                             drops: &drops,
                             timers: &mut timers,
                             rng_state: &mut rng_state,
+                            trace: 0,
                         };
                         node.on_start(&mut ctx);
                     }
@@ -153,6 +190,7 @@ impl LiveNet {
                                 drops: &drops,
                                 timers: &mut timers,
                                 rng_state: &mut rng_state,
+                                trace: 0,
                             };
                             node.on_timer(&mut ctx, token);
                         }
@@ -164,7 +202,7 @@ impl LiveNet {
                             })
                             .unwrap_or(std::time::Duration::from_millis(50));
                         match rx.recv_timeout(wait) {
-                            Ok(Envelope::Deliver { from, msg }) => {
+                            Ok(Envelope::Deliver { from, msg, trace }) => {
                                 let mut ctx = LiveCtx {
                                     me,
                                     clock: &clock,
@@ -172,6 +210,7 @@ impl LiveNet {
                                     drops: &drops,
                                     timers: &mut timers,
                                     rng_state: &mut rng_state,
+                                    trace,
                                 };
                                 node.on_message(&mut ctx, from, msg);
                             }
@@ -190,6 +229,9 @@ impl LiveNet {
     /// Stops every node and returns them (for result harvesting), in
     /// address order.
     pub fn shutdown(mut self) -> Vec<Box<dyn Node>> {
+        if let Some(admin) = self.admin.take() {
+            admin.shutdown();
+        }
         for tx in &self.senders {
             let _ = tx.send(Envelope::Stop);
         }
@@ -202,7 +244,7 @@ impl LiveNet {
     /// Sends a message into the network from a synthetic external address.
     pub fn inject(&self, from: Addr, to: Addr, msg: Msg) {
         if let Some(tx) = self.senders.get(to.0 as usize) {
-            if tx.try_send(Envelope::Deliver { from, msg }).is_err() {
+            if tx.try_send(Envelope::Deliver { from, msg, trace: 0 }).is_err() {
                 self.drops[to.0 as usize].fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -319,5 +361,56 @@ mod tests {
         net.start();
         let nodes = net.shutdown();
         assert_eq!(nodes.len(), 2);
+    }
+
+    /// Mints a trace, opens against a peer, and records the trace id the
+    /// reply arrives under.
+    struct TraceMinter {
+        peer: Addr,
+        reply_trace: Arc<AtomicU64>,
+    }
+    impl Node for TraceMinter {
+        fn on_start(&mut self, ctx: &mut dyn NetCtx) {
+            ctx.set_trace(0xABCD);
+            ctx.send(
+                self.peer,
+                ClientMsg::Open { path: "/f".into(), write: false, refresh: false, avoid: None }
+                    .into(),
+            );
+        }
+        fn on_message(&mut self, ctx: &mut dyn NetCtx, _: Addr, _: Msg) {
+            self.reply_trace.store(ctx.trace(), Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn traces_propagate_across_hops() {
+        // Echo never touches set_trace, yet its reply carries the minted
+        // id: sends inherit the handling context's trace, so the id rides
+        // the causal chain minter -> echo -> minter untouched.
+        let mut net = LiveNet::new();
+        let seen = Arc::new(AtomicU64::new(0));
+        let echo = net.add_node(Box::new(Echo));
+        net.add_node(Box::new(TraceMinter { peer: echo, reply_trace: seen.clone() }));
+        net.start();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while seen.load(Ordering::SeqCst) == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert_eq!(seen.load(Ordering::SeqCst), 0xABCD);
+        net.shutdown();
+    }
+
+    #[test]
+    fn admin_endpoint_serves_runtime_counters() {
+        let mut net = LiveNet::new();
+        net.add_node(Box::new(Echo));
+        let obs = Obs::enabled();
+        let addr = net.serve_admin(obs).unwrap();
+        net.start();
+        let metrics = crate::admin::scrape(addr, "/metrics").unwrap();
+        assert!(metrics.contains("scalla_mailbox_drops_total 0"), "{metrics}");
+        net.shutdown();
+        assert!(crate::admin::scrape(addr, "/metrics").is_err(), "admin stops with the net");
     }
 }

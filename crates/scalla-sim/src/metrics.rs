@@ -40,6 +40,17 @@ impl EgressCounters {
     pub fn total_drops(&self) -> u64 {
         self.queue_drops + self.conn_drops
     }
+
+    /// Fraction of encode buffers served from the reuse pool
+    /// (0 when no buffer was ever requested).
+    pub fn pool_hit_rate(&self) -> f64 {
+        let total = self.pool_hits + self.pool_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.pool_hits as f64 / total as f64
+        }
+    }
 }
 
 /// Per-runtime delivery counters: inbound mailbox overflow per node plus
@@ -69,13 +80,28 @@ impl NetCounters {
             self.egress.queue_drops,
             self.egress.conn_drops,
             self.total_mailbox_drops(),
-            if self.egress.pool_hits + self.egress.pool_misses == 0 {
-                0.0
-            } else {
-                self.egress.pool_hits as f64
-                    / (self.egress.pool_hits + self.egress.pool_misses) as f64
-            },
+            self.egress.pool_hit_rate(),
         )
+    }
+
+    /// Mirrors these counters into an observability [`Registry`]: absolute
+    /// values go through `Counter::set`, so re-exporting a fresh snapshot
+    /// at every scrape stays idempotent.
+    pub fn export_into(&self, reg: &scalla_obs::Registry) {
+        let e = &self.egress;
+        for (name, value) in [
+            ("scalla_egress_frames_total", e.frames),
+            ("scalla_egress_writes_total", e.writes),
+            ("scalla_egress_queue_drops_total", e.queue_drops),
+            ("scalla_egress_conn_drops_total", e.conn_drops),
+            ("scalla_egress_pool_hits_total", e.pool_hits),
+            ("scalla_egress_pool_misses_total", e.pool_misses),
+            ("scalla_mailbox_drops_total", self.total_mailbox_drops()),
+        ] {
+            reg.counter(name, &[]).set(value);
+        }
+        reg.gauge("scalla_egress_pool_hit_rate_permille", &[])
+            .set((e.pool_hit_rate() * 1000.0) as u64);
     }
 }
 
@@ -174,6 +200,7 @@ mod tests {
             waits: 0,
             refreshes: 0,
             server: None,
+            trace_id: 0,
             entries: Vec::new(),
             data: None,
         }
@@ -215,8 +242,45 @@ mod tests {
         let row = c.row();
         assert!(row.contains("frames/write=4.00"), "{row}");
         assert!(row.contains("mailbox_drops=4"), "{row}");
+        assert!((c.egress.pool_hit_rate() - 0.9).abs() < 1e-9);
         // Degenerate case: nothing written yet.
         assert_eq!(EgressCounters::default().frames_per_write(), 0.0);
+    }
+
+    #[test]
+    fn row_survives_all_zero_pool_counters() {
+        // Frames moved but the buffer pool was never touched: the hit-rate
+        // denominator is zero and must not divide.
+        let c = NetCounters {
+            mailbox_drops: vec![0, 0],
+            egress: EgressCounters { frames: 10, writes: 10, ..Default::default() },
+        };
+        assert_eq!(c.egress.pool_hit_rate(), 0.0);
+        let row = c.row();
+        assert!(row.contains("pool_hit_rate=0.00"), "{row}");
+        assert!(row.contains("frames=10"), "{row}");
+    }
+
+    #[test]
+    fn export_into_mirrors_and_is_idempotent() {
+        let reg = scalla_obs::Registry::new();
+        let mut c = NetCounters {
+            mailbox_drops: vec![1, 2],
+            egress: EgressCounters {
+                frames: 40,
+                writes: 10,
+                pool_hits: 3,
+                pool_misses: 1,
+                ..Default::default()
+            },
+        };
+        c.export_into(&reg);
+        c.egress.frames = 50;
+        c.export_into(&reg); // set() semantics: latest snapshot wins
+        let text = reg.prometheus_text();
+        assert!(text.contains("scalla_egress_frames_total 50"), "{text}");
+        assert!(text.contains("scalla_mailbox_drops_total 3"), "{text}");
+        assert!(text.contains("scalla_egress_pool_hit_rate_permille 750"), "{text}");
     }
 
     #[test]

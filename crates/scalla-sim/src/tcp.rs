@@ -19,11 +19,13 @@
 //! frames land in a bounded mailbox; overflow drops are counted per node
 //! and surfaced through [`TcpNet::counters`].
 
+use crate::admin::AdminServer;
 use crate::egress::{EgressLink, EgressShared};
 use crate::metrics::{EgressCounters, NetCounters};
 use bytes::BytesMut;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
-use scalla_proto::{encode_frame, encode_frame_pooled, Addr, FrameDecoder, Msg};
+use scalla_obs::Obs;
+use scalla_proto::{encode_frame, encode_frame_traced_pooled, Addr, FrameDecoder, Msg};
 use scalla_simnet::{NetCtx, Node};
 use scalla_util::{Clock, Nanos, SystemClock};
 use std::collections::{BinaryHeap, HashMap};
@@ -34,7 +36,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 enum Envelope {
-    Deliver { from: Addr, msg: Msg },
+    Deliver { from: Addr, msg: Msg, trace: u64 },
     Stop,
 }
 
@@ -56,6 +58,11 @@ struct TcpCtx<'a> {
     shared: &'a Arc<EgressShared>,
     timers: &'a mut BinaryHeap<std::cmp::Reverse<(Nanos, u64)>>,
     rng_state: &'a mut u64,
+    /// Ambient request trace id for this callback: seeded from the inbound
+    /// frame's envelope and stamped onto every frame sent from it, so a
+    /// trace follows the request across cmsd→supervisor→server hops
+    /// without touching the `Node` trait.
+    trace: u64,
 }
 
 impl TcpCtx<'_> {
@@ -78,7 +85,7 @@ impl NetCtx for TcpCtx<'_> {
     fn send(&mut self, to: Addr, msg: Msg) {
         // Encode into a pooled buffer and queue it; the writer thread owns
         // every socket interaction. This path must never block.
-        let frame = encode_frame_pooled(&msg, &self.shared.pool);
+        let frame = encode_frame_traced_pooled(&msg, self.trace, &self.shared.pool);
         let shared = self.shared.clone();
         match self.link(to) {
             Some(link) => link.send(frame, &shared),
@@ -100,6 +107,12 @@ impl NetCtx for TcpCtx<'_> {
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^ (z >> 31)
     }
+    fn set_trace(&mut self, trace: u64) {
+        self.trace = trace;
+    }
+    fn trace(&self) -> u64 {
+        self.trace
+    }
 }
 
 /// The TCP runtime.
@@ -117,6 +130,7 @@ pub struct TcpNet {
     shared: Arc<EgressShared>,
     stop: Arc<AtomicBool>,
     started: bool,
+    admin: Option<AdminServer>,
 }
 
 impl TcpNet {
@@ -135,6 +149,7 @@ impl TcpNet {
             shared: Arc::new(EgressShared::new(stop.clone())),
             stop,
             started: false,
+            admin: None,
         })
     }
 
@@ -183,6 +198,38 @@ impl TcpNet {
     /// The socket address a node listens on (diagnostics).
     pub fn socket_of(&self, addr: Addr) -> SocketAddr {
         self.peers[addr.0 as usize]
+    }
+
+    /// Starts the admin endpoint for this net: one listener thread serving
+    /// line-oriented `/metrics`, `/stats`, and `/flight` requests against
+    /// `obs` (see [`crate::admin`]). The net's own wire counters are
+    /// mirrored into the registry at every scrape; call this after the
+    /// last [`TcpNet::add_node`] so every mailbox is covered. Returns the
+    /// endpoint's socket address.
+    pub fn serve_admin(&mut self, obs: Obs) -> std::io::Result<SocketAddr> {
+        assert!(obs.is_enabled(), "serve_admin needs an enabled Obs handle");
+        assert!(self.admin.is_none(), "serve_admin once per net");
+        let shared = self.shared.clone();
+        let drops: Vec<Arc<AtomicU64>> = self.mailbox_drops.clone();
+        obs.registry().add_collector(Box::new(move |reg| {
+            let stats = &shared.stats;
+            let counters = NetCounters {
+                mailbox_drops: drops.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+                egress: EgressCounters {
+                    frames: stats.frames.load(Ordering::Relaxed),
+                    writes: stats.writes.load(Ordering::Relaxed),
+                    queue_drops: stats.queue_drops.load(Ordering::Relaxed),
+                    conn_drops: stats.conn_drops.load(Ordering::Relaxed),
+                    pool_hits: shared.pool.hits(),
+                    pool_misses: shared.pool.misses(),
+                },
+            };
+            counters.export_into(reg);
+        }));
+        let server = AdminServer::spawn(obs)?;
+        let addr = server.addr();
+        self.admin = Some(server);
+        Ok(addr)
     }
 
     /// Wire and queue counters accumulated so far (callable any time).
@@ -271,6 +318,7 @@ impl TcpNet {
                             shared: &shared,
                             timers: &mut timers,
                             rng_state: &mut rng_state,
+                            trace: 0,
                         };
                         node.on_start(&mut ctx);
                     }
@@ -294,6 +342,7 @@ impl TcpNet {
                                 shared: &shared,
                                 timers: &mut timers,
                                 rng_state: &mut rng_state,
+                                trace: 0,
                             };
                             node.on_timer(&mut ctx, token);
                         }
@@ -304,7 +353,7 @@ impl TcpNet {
                             })
                             .unwrap_or(std::time::Duration::from_millis(50));
                         match rx.recv_timeout(wait) {
-                            Ok(Envelope::Deliver { from, msg }) => {
+                            Ok(Envelope::Deliver { from, msg, trace }) => {
                                 let mut ctx = TcpCtx {
                                     me,
                                     clock: &clock,
@@ -313,6 +362,7 @@ impl TcpNet {
                                     shared: &shared,
                                     timers: &mut timers,
                                     rng_state: &mut rng_state,
+                                    trace,
                                 };
                                 node.on_message(&mut ctx, from, msg);
                             }
@@ -340,6 +390,9 @@ impl TcpNet {
     /// woken by a throwaway connection and joins its readers.
     pub fn shutdown(mut self) -> Vec<Box<dyn Node>> {
         self.stop.store(true, Ordering::Relaxed);
+        if let Some(admin) = self.admin.take() {
+            admin.shutdown();
+        }
         for tx in &self.mailboxes {
             let _ = tx.send(Envelope::Stop);
         }
@@ -405,14 +458,16 @@ fn reader_loop(mut stream: TcpStream, mailbox: Sender<Envelope>, drops: Arc<Atom
             Ok(n) => {
                 dec.feed(&buf[..n]);
                 loop {
-                    match dec.next() {
-                        Ok(Some(msg)) => match mailbox.try_send(Envelope::Deliver { from, msg }) {
-                            Ok(()) => {}
-                            Err(TrySendError::Full(_)) => {
-                                drops.fetch_add(1, Ordering::Relaxed);
+                    match dec.next_traced() {
+                        Ok(Some((trace, msg))) => {
+                            match mailbox.try_send(Envelope::Deliver { from, msg, trace }) {
+                                Ok(()) => {}
+                                Err(TrySendError::Full(_)) => {
+                                    drops.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(TrySendError::Disconnected(_)) => return,
                             }
-                            Err(TrySendError::Disconnected(_)) => return,
-                        },
+                        }
                         Ok(None) => break,
                         Err(_) => return, // garbage stream
                     }

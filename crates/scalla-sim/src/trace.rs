@@ -6,30 +6,79 @@
 //! workflow EXPERIMENTS.md is built on. One line per operation:
 //!
 //! ```text
-//! v1 <start_ns> <end_ns> <outcome> <redirects> <waits> <refreshes> <server|-> <path>
+//! v2 <op_index> <trace_id> <start_ns> <end_ns> <outcome> <redirects> <waits> <refreshes> <server|-> <path>
 //! ```
 //!
 //! The format is versioned, whitespace-delimited, and keeps the free-form
-//! path last so it may contain anything but a newline.
+//! path last so it may contain anything but a newline. The `outcome` field
+//! is `ok`, `notfound`, `gaveup`, or `error:<message>` where the message
+//! escapes backslashes as `\\` and spaces as `\s` so the token stays
+//! whitespace-free. `trace_id` is the hex trace minted by the client, `0`
+//! when tracing was off.
+//!
+//! v1 lines (`v1 <start> <end> <outcome> <redirects> <waits> <refreshes>
+//! <server|-> <path>`) are still decoded: `op_index` is assigned by
+//! position, `trace_id` is 0, and error messages (which v1 never carried)
+//! come back as `"recorded"`.
 
 use scalla_client::{OpOutcome, OpResult};
 use scalla_util::Nanos;
 
-/// Serializes records, one line each.
+/// Escapes an error message into a whitespace-free token (`\` → `\\`,
+/// space → `\s`).
+fn escape_msg(msg: &str) -> String {
+    msg.replace('\\', "\\\\").replace(' ', "\\s")
+}
+
+/// Reverses [`escape_msg`].
+fn unescape_msg(tok: &str) -> String {
+    let mut out = String::with_capacity(tok.len());
+    let mut chars = tok.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('s') => out.push(' '),
+                Some(other) => out.push(other),
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn outcome_token(outcome: &OpOutcome) -> String {
+    match outcome {
+        OpOutcome::Ok => "ok".into(),
+        OpOutcome::NotFound => "notfound".into(),
+        OpOutcome::GaveUp => "gaveup".into(),
+        OpOutcome::Error(msg) => format!("error:{}", escape_msg(msg)),
+    }
+}
+
+fn parse_outcome(tok: &str) -> Option<OpOutcome> {
+    match tok {
+        "ok" => Some(OpOutcome::Ok),
+        "notfound" => Some(OpOutcome::NotFound),
+        "gaveup" => Some(OpOutcome::GaveUp),
+        // Bare "error" is the v1 spelling (message was not recorded).
+        "error" => Some(OpOutcome::Error("recorded".into())),
+        t => t.strip_prefix("error:").map(|m| OpOutcome::Error(unescape_msg(m))),
+    }
+}
+
+/// Serializes records, one line each, in the current (v2) format.
 pub fn encode<'a>(results: impl IntoIterator<Item = &'a OpResult>) -> String {
     let mut out = String::new();
     for r in results {
-        let outcome = match &r.outcome {
-            OpOutcome::Ok => "ok",
-            OpOutcome::NotFound => "notfound",
-            OpOutcome::GaveUp => "gaveup",
-            OpOutcome::Error(_) => "error",
-        };
         out.push_str(&format!(
-            "v1 {} {} {} {} {} {} {} {}\n",
+            "v2 {} {:x} {} {} {} {} {} {} {} {}\n",
+            r.op_index,
+            r.trace_id,
             r.start.0,
             r.end.0,
-            outcome,
+            outcome_token(&r.outcome),
             r.redirects,
             r.waits,
             r.refreshes,
@@ -49,7 +98,8 @@ pub struct TraceError {
     pub reason: String,
 }
 
-/// Parses a trace produced by [`encode`].
+/// Parses a trace produced by [`encode`] — v2 or legacy v1 lines, freely
+/// mixed.
 pub fn decode(text: &str) -> Result<Vec<OpResult>, TraceError> {
     let mut out = Vec::new();
     for (idx, line) in text.lines().enumerate() {
@@ -57,20 +107,30 @@ pub fn decode(text: &str) -> Result<Vec<OpResult>, TraceError> {
         if line.trim().is_empty() {
             continue;
         }
-        let mut it = line.splitn(9, ' ');
-        let version = it.next().ok_or_else(|| err("empty line"))?;
-        if version != "v1" {
-            return Err(err("unknown version"));
-        }
+        let version = line.split(' ').next().ok_or_else(|| err("empty line"))?;
+        let (op_index, trace_id, mut it) = match version {
+            "v1" => {
+                let mut it = line.splitn(9, ' ');
+                it.next(); // version tag
+                (out.len(), 0u64, it)
+            }
+            "v2" => {
+                let mut it = line.splitn(11, ' ');
+                it.next(); // version tag
+                let op_index: usize =
+                    it.next().and_then(|s| s.parse().ok()).ok_or_else(|| err("bad op_index"))?;
+                let trace_id = it
+                    .next()
+                    .and_then(|s| u64::from_str_radix(s, 16).ok())
+                    .ok_or_else(|| err("bad trace_id"))?;
+                (op_index, trace_id, it)
+            }
+            _ => return Err(err("unknown version")),
+        };
         let start: u64 = it.next().and_then(|s| s.parse().ok()).ok_or_else(|| err("bad start"))?;
         let end: u64 = it.next().and_then(|s| s.parse().ok()).ok_or_else(|| err("bad end"))?;
-        let outcome = match it.next().ok_or_else(|| err("missing outcome"))? {
-            "ok" => OpOutcome::Ok,
-            "notfound" => OpOutcome::NotFound,
-            "gaveup" => OpOutcome::GaveUp,
-            "error" => OpOutcome::Error("recorded".into()),
-            _ => return Err(err("unknown outcome")),
-        };
+        let outcome = parse_outcome(it.next().ok_or_else(|| err("missing outcome"))?)
+            .ok_or_else(|| err("unknown outcome"))?;
         let redirects: u32 =
             it.next().and_then(|s| s.parse().ok()).ok_or_else(|| err("bad redirects"))?;
         let waits: u32 = it.next().and_then(|s| s.parse().ok()).ok_or_else(|| err("bad waits"))?;
@@ -82,7 +142,7 @@ pub fn decode(text: &str) -> Result<Vec<OpResult>, TraceError> {
         };
         let path = it.next().ok_or_else(|| err("missing path"))?.to_string();
         out.push(OpResult {
-            op_index: out.len(),
+            op_index,
             path,
             start: Nanos(start),
             end: Nanos(end),
@@ -91,6 +151,7 @@ pub fn decode(text: &str) -> Result<Vec<OpResult>, TraceError> {
             waits,
             refreshes,
             server,
+            trace_id,
             entries: Vec::new(),
             data: None,
         });
@@ -115,6 +176,7 @@ mod tests {
                 waits: 0,
                 refreshes: 0,
                 server: Some("srv-3".into()),
+                trace_id: 0xDEAD_BEEF,
                 entries: Vec::new(),
                 data: None,
             },
@@ -128,6 +190,7 @@ mod tests {
                 waits: 1,
                 refreshes: 0,
                 server: None,
+                trace_id: 0,
                 entries: Vec::new(),
                 data: None,
             },
@@ -142,6 +205,8 @@ mod tests {
         assert_eq!(decoded.len(), 2);
         for (a, b) in original.iter().zip(&decoded) {
             assert_eq!(a.path, b.path, "paths with spaces must survive");
+            assert_eq!(a.op_index, b.op_index);
+            assert_eq!(a.trace_id, b.trace_id, "trace ids must survive");
             assert_eq!(a.start, b.start);
             assert_eq!(a.end, b.end);
             assert_eq!(a.outcome == OpOutcome::Ok, b.outcome == OpOutcome::Ok);
@@ -153,11 +218,35 @@ mod tests {
     }
 
     #[test]
+    fn error_messages_roundtrip_with_escaping() {
+        let mut r = sample().remove(0);
+        r.outcome = OpOutcome::Error("disk \\ went away".into());
+        let text = encode(std::iter::once(&r));
+        assert!(!text.contains("disk \\ went"), "message must be one token: {text}");
+        let back = decode(&text).unwrap();
+        assert_eq!(back[0].outcome, OpOutcome::Error("disk \\ went away".into()));
+    }
+
+    #[test]
+    fn v1_lines_still_decode() {
+        let text = "v1 100 5100 ok 2 0 0 srv-3 /a/file with spaces.root\n\
+                    v1 200 5000000200 error 0 1 0 - /b\n";
+        let decoded = decode(text).unwrap();
+        assert_eq!(decoded.len(), 2);
+        assert_eq!(decoded[0].path, "/a/file with spaces.root");
+        assert_eq!(decoded[0].op_index, 0, "v1 op_index assigned by position");
+        assert_eq!(decoded[0].trace_id, 0, "v1 never carried a trace id");
+        assert_eq!(decoded[1].op_index, 1);
+        assert_eq!(decoded[1].outcome, OpOutcome::Error("recorded".into()));
+    }
+
+    #[test]
     fn malformed_lines_are_rejected_with_position() {
-        assert_eq!(decode("v2 1 2 ok 0 0 0 - /x").unwrap_err().line, 1);
+        assert_eq!(decode("v9 1 2 ok 0 0 0 - /x").unwrap_err().line, 1);
         let two = "v1 1 2 ok 0 0 0 - /x\nv1 oops";
         assert_eq!(decode(two).unwrap_err().line, 2);
         assert!(decode("v1 1 2 banana 0 0 0 - /x").is_err());
+        assert!(decode("v2 0 zz 1 2 ok 0 0 0 - /x").is_err(), "bad hex trace id");
     }
 
     #[test]

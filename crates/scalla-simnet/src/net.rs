@@ -20,6 +20,15 @@ pub trait NetCtx {
     fn set_timer(&mut self, delay: Nanos, token: u64);
     /// Uniform random bits (deterministic under the simulator).
     fn rand_u64(&mut self) -> u64;
+    /// Sets the ambient request trace id: subsequent `send`s from this
+    /// callback carry it on the wire (runtimes without tracing ignore it).
+    fn set_trace(&mut self, _trace: u64) {}
+    /// The ambient request trace id (0 = untraced). Set by the runtime
+    /// before dispatching a traced inbound message, or by the node itself
+    /// via [`NetCtx::set_trace`] when it originates a request.
+    fn trace(&self) -> u64 {
+        0
+    }
 }
 
 /// A protocol state machine attached to the network.
@@ -69,7 +78,7 @@ impl LatencyModel {
 
 #[derive(Debug)]
 enum EventKind {
-    Deliver { from: Addr, msg: Msg },
+    Deliver { from: Addr, msg: Msg, trace: u64 },
     Timer { token: u64 },
 }
 
@@ -108,16 +117,20 @@ pub struct SimStats {
     pub timers: u64,
 }
 
-/// Collected effects of one handler invocation.
+/// Collected effects of one handler invocation. Each send carries the
+/// trace id that was ambient when it was issued.
 #[derive(Default)]
 struct Effects {
-    sends: Vec<(Addr, Msg)>,
+    sends: Vec<(Addr, Msg, u64)>,
     timers: Vec<(Nanos, u64)>,
 }
 
 struct SimCtx<'a> {
     now: Nanos,
     me: Addr,
+    // Ambient trace id: seeded from the event being delivered, stamped on
+    // every send issued during the callback (see `NetCtx::set_trace`).
+    trace: u64,
     rng: &'a mut SplitMix64,
     effects: &'a mut Effects,
 }
@@ -130,13 +143,19 @@ impl NetCtx for SimCtx<'_> {
         self.me
     }
     fn send(&mut self, to: Addr, msg: Msg) {
-        self.effects.sends.push((to, msg));
+        self.effects.sends.push((to, msg, self.trace));
     }
     fn set_timer(&mut self, delay: Nanos, token: u64) {
         self.effects.timers.push((delay, token));
     }
     fn rand_u64(&mut self) -> u64 {
         self.rng.next_u64()
+    }
+    fn set_trace(&mut self, trace: u64) {
+        self.trace = trace;
+    }
+    fn trace(&self) -> u64 {
+        self.trace
     }
 }
 
@@ -236,7 +255,7 @@ impl SimNet {
     /// Injects a message from an external source (e.g. a test harness)
     /// with normal latency applied.
     pub fn inject(&mut self, from: Addr, to: Addr, msg: Msg) {
-        self.queue_send(from, to, msg);
+        self.queue_send(from, to, msg, 0);
     }
 
     fn latency_between(&mut self, from: Addr, to: Addr) -> Nanos {
@@ -244,13 +263,13 @@ impl SimNet {
         model.sample(&mut self.rng)
     }
 
-    fn queue_send(&mut self, from: Addr, to: Addr, msg: Msg) {
+    fn queue_send(&mut self, from: Addr, to: Addr, msg: Msg, trace: u64) {
         if self.loss_permille > 0 && self.rng.next_below(1000) < self.loss_permille as u64 {
             self.stats.dropped += 1;
             return;
         }
         let at = self.clock.now() + self.latency_between(from, to);
-        self.push_event(Event { at, seq: 0, to, kind: EventKind::Deliver { from, msg } });
+        self.push_event(Event { at, seq: 0, to, kind: EventKind::Deliver { from, msg, trace } });
     }
 
     fn push_event(&mut self, mut ev: Event) {
@@ -268,6 +287,7 @@ impl SimNet {
             let mut ctx = SimCtx {
                 now: self.clock.now(),
                 me: addr,
+                trace: 0,
                 rng: &mut self.rng,
                 effects: &mut effects,
             };
@@ -278,8 +298,8 @@ impl SimNet {
     }
 
     fn apply_effects(&mut self, from: Addr, effects: Effects) {
-        for (to, msg) in effects.sends {
-            self.queue_send(from, to, msg);
+        for (to, msg, trace) in effects.sends {
+            self.queue_send(from, to, msg, trace);
         }
         let now = self.clock.now();
         for (delay, token) in effects.timers {
@@ -310,10 +330,19 @@ impl SimNet {
         };
         let mut effects = Effects::default();
         {
-            let mut ctx =
-                SimCtx { now: ev.at, me: ev.to, rng: &mut self.rng, effects: &mut effects };
+            let inbound_trace = match &ev.kind {
+                EventKind::Deliver { trace, .. } => *trace,
+                EventKind::Timer { .. } => 0,
+            };
+            let mut ctx = SimCtx {
+                now: ev.at,
+                me: ev.to,
+                trace: inbound_trace,
+                rng: &mut self.rng,
+                effects: &mut effects,
+            };
             match ev.kind {
-                EventKind::Deliver { from, msg } => {
+                EventKind::Deliver { from, msg, .. } => {
                     if self.down.contains(&from) {
                         // Sender died while the message was in flight; the
                         // bytes still arrive (they already left the NIC).

@@ -8,10 +8,38 @@
 use crate::clock::Nanos;
 
 /// Number of sub-buckets per power of two (higher = finer resolution).
-const SUBBUCKETS: usize = 8;
+pub const SUBBUCKETS: usize = 8;
 /// Covers values up to 2^40 ns (~18 minutes), far beyond any latency here.
-const MAX_EXP: usize = 40;
-const NBUCKETS: usize = MAX_EXP * SUBBUCKETS;
+pub const MAX_EXP: usize = 40;
+/// Total bucket count shared by [`Histogram`] and external consumers (the
+/// lock-free observability histogram mirrors this layout atomically).
+pub const NBUCKETS: usize = MAX_EXP * SUBBUCKETS;
+
+/// Bucket index for a raw sample value.
+#[inline]
+pub fn bucket_of(value: u64) -> usize {
+    // Index = exponent * SUBBUCKETS + top mantissa bits.
+    let v = value.max(1);
+    let exp = 63 - v.leading_zeros() as usize;
+    let sub = if exp == 0 {
+        0
+    } else {
+        ((v >> exp.saturating_sub(3)) & (SUBBUCKETS as u64 - 1)) as usize
+    };
+    (exp * SUBBUCKETS + sub).min(NBUCKETS - 1)
+}
+
+/// Lower-bound sample value represented by bucket `index`.
+#[inline]
+pub fn bucket_value(index: usize) -> u64 {
+    let exp = index / SUBBUCKETS;
+    let sub = (index % SUBBUCKETS) as u64;
+    if exp == 0 {
+        1
+    } else {
+        (1u64 << exp) + (sub << exp.saturating_sub(3))
+    }
+}
 
 /// A histogram of `Nanos` samples with ~12 % relative bucket resolution.
 ///
@@ -47,35 +75,11 @@ impl Histogram {
         Histogram { buckets: Box::new([0; NBUCKETS]), count: 0, sum: 0, min: u64::MAX, max: 0 }
     }
 
-    #[inline]
-    fn bucket_of(value: u64) -> usize {
-        // Index = exponent * SUBBUCKETS + top mantissa bits.
-        let v = value.max(1);
-        let exp = 63 - v.leading_zeros() as usize;
-        let sub = if exp == 0 {
-            0
-        } else {
-            ((v >> exp.saturating_sub(3)) & (SUBBUCKETS as u64 - 1)) as usize
-        };
-        (exp * SUBBUCKETS + sub).min(NBUCKETS - 1)
-    }
-
-    #[inline]
-    fn bucket_value(index: usize) -> u64 {
-        let exp = index / SUBBUCKETS;
-        let sub = (index % SUBBUCKETS) as u64;
-        if exp == 0 {
-            1
-        } else {
-            (1u64 << exp) + (sub << exp.saturating_sub(3))
-        }
-    }
-
     /// Records one sample.
     #[inline]
     pub fn record(&mut self, sample: Nanos) {
         let v = sample.0;
-        self.buckets[Histogram::bucket_of(v)] += 1;
+        self.buckets[bucket_of(v)] += 1;
         self.count += 1;
         self.sum += v as u128;
         self.min = self.min.min(v);
@@ -121,7 +125,7 @@ impl Histogram {
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= target.max(1) {
-                return Nanos(Histogram::bucket_value(i).clamp(self.min, self.max));
+                return Nanos(bucket_value(i).clamp(self.min, self.max));
             }
         }
         self.max()

@@ -15,6 +15,7 @@
 //! | [`proto`] | `scalla-proto` | xrootd/cmsd messages and the binary wire codec |
 //! | [`simnet`] | `scalla-simnet` | deterministic discrete-event network runtime |
 //! | [`node`] | `scalla-node` | cmsd (manager/supervisor) and data-server state machines |
+//! | [`obs`] | `scalla-obs` | metrics registry, request-scoped tracing, flight recorder |
 //! | [`client`] | `scalla-client` | redirect walking, wait/retry, refresh recovery, prepare |
 //! | [`sim`] | `scalla-sim` | whole-cluster harness, live threaded runtime, workloads |
 //! | [`baseline`] | `scalla-baseline` | GFS-style central master and other comparators (§V) |
@@ -48,6 +49,7 @@ pub use scalla_cache as cache;
 pub use scalla_client as client;
 pub use scalla_cluster as cluster;
 pub use scalla_node as node;
+pub use scalla_obs as obs;
 pub use scalla_proto as proto;
 pub use scalla_qserv as qserv;
 pub use scalla_sim as sim;
@@ -60,6 +62,7 @@ pub mod prelude {
     pub use scalla_client::{ClientOp, Directory, OpOutcome, OpResult};
     pub use scalla_cluster::{SelectionPolicy, TreeSpec};
     pub use scalla_node::{CmsdConfig, CmsdNode, CnsNode, ServerConfig, ServerNode};
+    pub use scalla_obs::{Obs, TraceId};
     pub use scalla_proto::{Addr, ClientMsg, CmsMsg, Msg, ServerMsg};
     pub use scalla_sim::{ClusterConfig, SimCluster};
     pub use scalla_simnet::{LatencyModel, NetCtx, Node, SimNet};

@@ -1,12 +1,15 @@
 #!/usr/bin/env python3
-"""Validates BENCH_tcp.json (written by `cargo bench -p bench --bench
-tcp_wire`) against the expected schema and sanity bounds.
+"""Validates bench JSON artifacts against their expected schema and
+sanity bounds, dispatching on the document's "bench" field:
+
+* BENCH_tcp.json — written by `cargo bench -p bench --bench tcp_wire`
+* BENCH_obs.json — written by `cargo bench -p bench --bench obs_overhead`
 
 Usage: python3 tools/check_bench_json.py BENCH_tcp.json [--smoke]
 
 --smoke relaxes the performance assertions for scaled-down CI runs
-(tiny bursts on a loaded shared runner may not coalesce), but the
-schema must always hold.
+(tiny bursts on a loaded shared runner may not coalesce, and overhead
+ratios from tiny batches are noise), but the schema must always hold.
 """
 import json
 import sys
@@ -36,12 +39,56 @@ def check_keys(obj: dict, spec: dict, where: str) -> None:
             fail(f"{where}.{key}: expected {typ}, got {type(obj[key]).__name__}")
 
 
+def check_obs(doc: dict, smoke: bool) -> None:
+    check_keys(
+        doc,
+        {
+            "bench": str,
+            "mode": str,
+            "entries": int,
+            "iters_per_batch": int,
+            "pairs": int,
+            "sample_every": int,
+            "noop_ns_per_op": NUM,
+            "instrumented_ns_per_op": NUM,
+            "overhead_pct": NUM,
+            "resolve_samples_recorded": int,
+        },
+        "top",
+    )
+    if doc["mode"] not in ("smoke", "full"):
+        fail(f"mode is {doc['mode']!r}")
+    if doc["noop_ns_per_op"] <= 0 or doc["instrumented_ns_per_op"] <= 0:
+        fail("ns/op must be positive")
+    if doc["resolve_samples_recorded"] <= 0:
+        fail("instrumented run recorded no resolve samples")
+    if doc["sample_every"] < 1:
+        fail(f"bad sample_every: {doc['sample_every']}")
+    # The overhead budget is only meaningful at full scale; smoke batches
+    # are too small to measure a few percent on a shared runner.
+    bound = 50.0 if smoke else 5.0
+    if doc["overhead_pct"] >= bound:
+        fail(f"obs overhead {doc['overhead_pct']:.2f}% >= {bound}% ({doc['mode']} mode)")
+    print(
+        f"check_bench_json: OK ({doc['mode']}): obs overhead"
+        f" {doc['overhead_pct']:+.2f}% ({doc['noop_ns_per_op']:.0f} ->"
+        f" {doc['instrumented_ns_per_op']:.0f} ns/op,"
+        f" {doc['resolve_samples_recorded']} samples)"
+    )
+
+
 def main() -> None:
     args = [a for a in sys.argv[1:] if a != "--smoke"]
     smoke = "--smoke" in sys.argv[1:]
     path = args[0] if args else "BENCH_tcp.json"
     with open(path) as fh:
         doc = json.load(fh)
+
+    if not isinstance(doc, dict) or "bench" not in doc:
+        fail(f"{path}: no 'bench' discriminator")
+    if doc["bench"] == "obs_overhead":
+        check_obs(doc, smoke)
+        return
 
     check_keys(
         doc,

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Parses the output of `cargo run --example obs_dump` (piped on stdin)
+and validates the `/metrics` section as Prometheus text exposition:
+
+* every comment line is `# HELP` or `# TYPE`;
+* every sample line is `name[{labels}] value` with a finite numeric
+  value and a well-formed metric name;
+* every histogram sample (`_bucket`/`_sum`/`_count`) belongs to a family
+  announced by a `# TYPE ... histogram` line;
+* the per-stage latency histograms are present and the resolve and
+  redirect-hop stages recorded at least one sample;
+* the `/stats` section is valid JSON;
+* the `/flight` section carries at least one span line.
+
+Usage: cargo run --example obs_dump | python3 tools/check_metrics.py
+"""
+import json
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)(?P<labels>\{[^}]*\})? (?P<value>\S+)$")
+SPAN_RE = re.compile(r"^trace=[0-9a-f]{16} node=\d+ stage=\S+")
+
+
+def fail(msg: str) -> None:
+    sys.exit(f"check_metrics: FAIL: {msg}")
+
+
+def split_sections(text: str) -> dict:
+    sections, current = {}, None
+    for line in text.splitlines():
+        m = re.match(r"^== (/\w+) ==$", line)
+        if m:
+            current = m.group(1)
+            sections[current] = []
+        elif current is not None:
+            sections[current].append(line)
+    return {k: "\n".join(v) for k, v in sections.items()}
+
+
+def check_metrics(text: str) -> dict:
+    typed, samples = {}, {}
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                fail(f"bad comment line: {line!r}")
+            if parts[1] == "TYPE":
+                typed[parts[2]] = parts[3] if len(parts) > 3 else ""
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail(f"unparsable sample line: {line!r}")
+        value = float(m.group("value"))  # "+Inf" never appears as a value
+        if math.isnan(value):
+            fail(f"NaN value: {line!r}")
+        name = m.group("name")
+        if not NAME_RE.match(name):
+            fail(f"bad metric name: {name!r}")
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        if name not in typed and base not in typed:
+            fail(f"sample {line!r} missing a # TYPE header")
+        if base in typed and typed[base] == "histogram" and name.endswith("_bucket"):
+            if 'le="' not in (m.group("labels") or ""):
+                fail(f"histogram bucket without le label: {line!r}")
+        series = name + (m.group("labels") or "")
+        samples[series] = value
+    return samples
+
+
+def main() -> None:
+    sections = split_sections(sys.stdin.read())
+    for want in ("/metrics", "/stats", "/flight"):
+        if want not in sections:
+            fail(f"missing section {want} (is this obs_dump output?)")
+
+    samples = check_metrics(sections["/metrics"])
+    for stage in ("resolve", "redirect_hop"):
+        series = f'scalla_stage_ns_count{{stage="{stage}"}}'
+        if samples.get(series, 0) < 1:
+            fail(f"{series} empty: the run recorded no {stage} samples")
+
+    try:
+        stats = json.loads(sections["/stats"])
+    except json.JSONDecodeError as e:
+        fail(f"/stats is not valid JSON: {e}")
+    if not isinstance(stats, dict) or not stats:
+        fail("/stats JSON is empty")
+
+    spans = [l for l in sections["/flight"].splitlines() if SPAN_RE.match(l)]
+    if not spans:
+        fail("/flight carries no span lines")
+
+    print(
+        f"check_metrics: OK ({len(samples)} series,"
+        f" {len(stats)} stats keys, {len(spans)} flight spans)"
+    )
+
+
+if __name__ == "__main__":
+    main()
