@@ -549,6 +549,79 @@ impl NameCache {
         }
     }
 
+    /// Reacts to a server disconnect (§III-A4 case 1) by walking every
+    /// cached object that lists the server as a holder: the dead holder is
+    /// moved `V_h`/`V_p` → `V_q` (it will be re-asked if it returns), and
+    /// any *other* reachable servers already parked in the object's `V_q`
+    /// are handed back to the caller to re-query immediately — a supervisor
+    /// going silent mid-resolution must not strand its waiters until the
+    /// 5 s deadline. Returned tuples are `(path, ref, servers-to-ask-now)`;
+    /// those servers are cleared from `V_q` optimistically (step 6
+    /// semantics: put flood failures back via [`NameCache::requeue`] with
+    /// the returned ref) and the deadline is renewed so concurrent resolves
+    /// do not duplicate the flood. `offline` servers stay parked.
+    pub fn requery_on_disconnect(
+        &self,
+        server: ServerId,
+        offline: ServerSet,
+    ) -> Vec<(String, LocRef, ServerSet)> {
+        let now = self.clock.now();
+        let dead = ServerSet::single(server);
+        let unreachable = dead | offline;
+        let mut refloods = Vec::new();
+        for shard in self.shards.iter() {
+            let mut shard = shard.lock();
+            for slot in 0..shard.slab.capacity() as u32 {
+                let e = shard.slab.get(slot);
+                if !e.in_use || !e.is_visible() {
+                    continue;
+                }
+                let held = (e.state.vh | e.state.vp).contains(server);
+                if !held && !e.state.vq.contains(server) {
+                    continue;
+                }
+                let path = e.key().to_string();
+                let locref = shard.slab.make_ref(slot);
+                let e = shard.slab.get_mut(slot);
+                e.state.requery(dead);
+                let ask = e.state.vq - unreachable;
+                if held && !ask.is_empty() {
+                    // The survivors are queried *now*; the dead server (and
+                    // anything else offline) stays queued for a future
+                    // look-up.
+                    e.state.vq &= unreachable;
+                    e.deadline = now + self.config.full_delay;
+                    refloods.push((path, locref, ask));
+                }
+            }
+        }
+        refloods
+    }
+
+    /// Audits every visible cached object against the structural invariant
+    /// `V_q ∩ (V_h ∪ V_p) = ∅` (a server cannot be both a known holder and
+    /// an open question). Returns `(entries_checked, violations)`; chaos
+    /// harnesses assert the second component is zero after every
+    /// convergence window.
+    pub fn invariant_violations(&self) -> (usize, usize) {
+        let mut checked = 0;
+        let mut violations = 0;
+        for shard in self.shards.iter() {
+            let shard = shard.lock();
+            for slot in 0..shard.slab.capacity() as u32 {
+                let e = shard.slab.get(slot);
+                if !e.in_use || !e.is_visible() {
+                    continue;
+                }
+                checked += 1;
+                if !e.state.invariant_holds() {
+                    violations += 1;
+                }
+            }
+        }
+        (checked, violations)
+    }
+
     /// Reads the current location state of `path`, if cached and visible.
     pub fn peek(&self, path: &str) -> Option<LocState> {
         let hash = crc32(path.as_bytes());
@@ -886,6 +959,50 @@ mod tests {
         cache.requeue("/f", out.locref, ServerSet::single(3));
         assert_eq!(CacheStats::get(&cache.stats().stale_refs), 1);
         assert!(cache.peek("/f").unwrap().vq.contains(3));
+    }
+
+    #[test]
+    fn disconnect_requeries_survivors_and_parks_dead_holder() {
+        let (_clock, cache) = setup();
+        // /f is held by 1, with 2 and 3 still parked in V_q (never heard
+        // from); /g is held only by 1; /h does not involve server 1 at all.
+        let out = cache.resolve("/f", VM4, AccessMode::Read, Waiter::new(1, 0));
+        cache.requeue("/f", out.locref, ServerSet(0b1100));
+        cache.update_have("/f", 1, false);
+        cache.resolve("/g", ServerSet(0b0010), AccessMode::Read, Waiter::new(2, 0));
+        cache.update_have("/g", 1, false);
+        cache.resolve("/h", ServerSet(0b0001), AccessMode::Read, Waiter::new(3, 0));
+        cache.update_have("/h", 0, false);
+
+        let refloods = cache.requery_on_disconnect(1, ServerSet::EMPTY);
+        let pairs: Vec<(String, ServerSet)> =
+            refloods.iter().map(|(p, _, ask)| (p.clone(), *ask)).collect();
+        // /f: survivors 2 and 3 must be asked now; /g has no survivors
+        // (nothing to flood); /h is untouched.
+        assert_eq!(pairs, vec![("/f".to_string(), ServerSet(0b1100))]);
+        let f = cache.peek("/f").unwrap();
+        assert!(f.vh.is_empty(), "dead holder demoted");
+        assert_eq!(f.vq, ServerSet::single(1), "dead server parked, survivors in flight");
+        let g = cache.peek("/g").unwrap();
+        assert_eq!(g.vq, ServerSet::single(1));
+        assert!(cache.peek("/h").unwrap().vh.contains(0), "unrelated entry untouched");
+        // The returned ref is live: a failed flood can requeue through it.
+        let (_, locref, _) = &refloods[0];
+        cache.requeue("/f", *locref, ServerSet::single(2));
+        assert!(cache.peek("/f").unwrap().vq.contains(2));
+        assert_eq!(CacheStats::get(&cache.stats().stale_refs), 0);
+    }
+
+    #[test]
+    fn invariant_audit_counts_visible_entries() {
+        let (_clock, cache) = setup();
+        assert_eq!(cache.invariant_violations(), (0, 0));
+        cache.resolve("/f", VM4, AccessMode::Read, Waiter::new(1, 0));
+        cache.update_have("/f", 1, false);
+        cache.resolve("/g", VM4, AccessMode::Read, Waiter::new(2, 0));
+        assert_eq!(cache.invariant_violations(), (2, 0));
+        cache.requery_on_disconnect(1, ServerSet::EMPTY);
+        assert_eq!(cache.invariant_violations(), (2, 0), "recovery preserves the invariant");
     }
 
     #[test]

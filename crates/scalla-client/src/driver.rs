@@ -123,6 +123,59 @@ impl OpResult {
     }
 }
 
+/// Retry behaviour for one operation: how many `Wait`/`Retry` verdicts to
+/// honour, how the delay between attempts grows, and the hard wall-clock
+/// deadline past which the operation is terminally abandoned.
+///
+/// Replaces the old flat `max_waits` counter: retriable verdicts (`Wait`,
+/// `Retry`) back off exponentially (with jitter, capped) until either the
+/// attempt budget or the per-op deadline runs out, and both exhaustion
+/// paths end in a *terminal* [`OpOutcome::GaveUp`] — never a hang, never a
+/// silent `Ok`.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Maximum `Wait`/`Retry` verdicts honoured per operation.
+    pub max_waits: u32,
+    /// Delay before the first retry; doubles per attempt.
+    pub backoff_base: Nanos,
+    /// Ceiling on the (jittered) backoff delay.
+    pub backoff_cap: Nanos,
+    /// Hard wall-clock budget per operation; checked at every retry
+    /// decision point, exceeding it is terminal.
+    pub op_deadline: Nanos,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_waits: 10,
+            backoff_base: Nanos::from_millis(100),
+            backoff_cap: Nanos::from_secs(5),
+            op_deadline: Nanos::from_secs(600),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The client-side delay before retry `attempt` (1-based): exponential
+    /// from `backoff_base`, ±25 % jitter from `rand`, capped at
+    /// `backoff_cap`. A server's `Wait` hint still wins when longer.
+    pub fn backoff(&self, attempt: u32, rand: u64) -> Nanos {
+        let exp = attempt.saturating_sub(1).min(20);
+        let base = self.backoff_base.0.saturating_mul(1 << exp);
+        // 0.75x..1.25x, then cap — so the cap is a true ceiling.
+        let jittered = (base / 1000).saturating_mul(750 + rand % 500);
+        Nanos(jittered.min(self.backoff_cap.0).max(1))
+    }
+
+    /// Whether an operation started at `start` has used up its budget:
+    /// either `waits` exceeded the attempt cap or `now` passed the per-op
+    /// deadline.
+    pub fn exhausted(&self, waits: u32, start: Nanos, now: Nanos) -> bool {
+        waits > self.max_waits || now.since(start) >= self.op_deadline
+    }
+}
+
 /// Client configuration.
 #[derive(Clone)]
 pub struct ClientConfig {
@@ -139,8 +192,8 @@ pub struct ClientConfig {
     pub think_time: Nanos,
     /// Maximum refresh recoveries per operation.
     pub max_refreshes: u32,
-    /// Maximum `Wait` back-offs per operation.
-    pub max_waits: u32,
+    /// Wait/retry budget, backoff shape, and per-op deadline.
+    pub retry: RetryPolicy,
     /// Per-request response timeout before manager failover.
     pub request_timeout: Nanos,
     /// Cluster Name Space daemon address for `List` operations.
@@ -157,7 +210,7 @@ impl ClientConfig {
             start_delay: Nanos::ZERO,
             think_time: Nanos::ZERO,
             max_refreshes: 3,
-            max_waits: 10,
+            retry: RetryPolicy::default(),
             request_timeout: Nanos::from_secs(20),
             cns: None,
         }
@@ -410,6 +463,21 @@ impl ClientNode {
         self.send_tracked(ctx, mgr, msg.into());
     }
 
+    /// Handles one retriable verdict (`Wait` or `Retry`): terminal
+    /// `GaveUp` once the attempt budget or the per-op deadline is spent,
+    /// otherwise re-arms the retry timer for the larger of the server's
+    /// hint and this client's own (jittered, capped) exponential backoff.
+    fn wait_retry(&mut self, ctx: &mut dyn NetCtx, hint_millis: Option<u64>) {
+        self.waits += 1;
+        if self.cfg.retry.exhausted(self.waits, self.start, ctx.now()) {
+            self.finish_op(ctx, OpOutcome::GaveUp, None);
+            return;
+        }
+        let backoff = self.cfg.retry.backoff(self.waits, ctx.rand_u64());
+        let hint = Nanos::from_millis(hint_millis.unwrap_or(0));
+        ctx.set_timer(backoff.max(hint), tok::RETRY);
+    }
+
     fn on_open_ok(&mut self, ctx: &mut dyn NetCtx, handle: u64) {
         let op = self.current_op().clone();
         let server = self.target;
@@ -447,8 +515,11 @@ impl Node for ClientNode {
     }
 
     fn on_message(&mut self, ctx: &mut dyn NetCtx, from: Addr, msg: Msg) {
-        if self.done || from != self.target {
-            return; // stale response from an abandoned target
+        if self.done || self.phase == Phase::Idle || from != self.target {
+            // Stale response: an abandoned target, a finished op (duplicate
+            // delivery of the reply that completed it), or a reply landing
+            // inside a sleep/think gap when nothing is outstanding.
+            return;
         }
         let Msg::Server(reply) = msg else { return };
         match reply {
@@ -472,15 +543,12 @@ impl Node for ClientNode {
                     }
                 }
             }
-            ServerMsg::Wait { millis } => {
-                self.waits += 1;
-                if self.waits > self.cfg.max_waits {
-                    self.finish_op(ctx, OpOutcome::GaveUp, None);
-                } else {
-                    ctx.set_timer(Nanos::from_millis(millis.max(1)), tok::RETRY);
+            ServerMsg::Wait { millis } => self.wait_retry(ctx, Some(millis)),
+            ServerMsg::OpenOk { handle } => {
+                if self.phase == Phase::Opening {
+                    self.on_open_ok(ctx, handle);
                 }
             }
-            ServerMsg::OpenOk { handle } => self.on_open_ok(ctx, handle),
             ServerMsg::Data { ref data } if matches!(self.phase, Phase::Reading { .. }) => {
                 self.pending_data = Some(data.clone());
                 let Phase::Reading { handle } = self.phase else { unreachable!() };
@@ -500,8 +568,10 @@ impl Node for ClientNode {
                 self.send_tracked(ctx, server, ClientMsg::Close { handle }.into());
             }
             ServerMsg::CloseOk => {
-                let server = self.cfg.directory.name_of(self.target);
-                self.finish_op(ctx, OpOutcome::Ok, server);
+                if self.phase == Phase::Closing {
+                    let server = self.cfg.directory.name_of(self.target);
+                    self.finish_op(ctx, OpOutcome::Ok, server);
+                }
             }
             ServerMsg::PrepareOk => {
                 if self.phase == Phase::Preparing {
@@ -526,14 +596,7 @@ impl Node for ClientNode {
                         let failing = self.target;
                         self.recover(ctx, failing);
                     }
-                    ErrCode::Retry => {
-                        self.waits += 1;
-                        if self.waits > self.cfg.max_waits {
-                            self.finish_op(ctx, OpOutcome::GaveUp, None);
-                        } else {
-                            ctx.set_timer(Nanos::from_millis(100), tok::RETRY);
-                        }
-                    }
+                    ErrCode::Retry => self.wait_retry(ctx, None),
                     _ => self.finish_op(ctx, OpOutcome::Error(detail), None),
                 }
             }
@@ -547,21 +610,26 @@ impl Node for ClientNode {
         match token {
             tok::NEXT_OP => self.begin_op(ctx),
             tok::RETRY => {
+                if self.phase == Phase::Idle {
+                    return; // the op finished while this retry was pending
+                }
                 if let Some(msg) = self.last_request.clone() {
                     let target = self.target;
                     self.send_tracked(ctx, target, msg);
                 }
             }
             t if t >= tok::TIMEOUT_BASE => {
-                if t - tok::TIMEOUT_BASE != self.timeout_gen {
-                    return; // superseded timeout
+                if t - tok::TIMEOUT_BASE != self.timeout_gen || self.phase == Phase::Idle {
+                    return; // superseded timeout, or nothing outstanding
                 }
                 // The target stopped answering. Fail over to the next
                 // manager and restart the walk from the top. The budget is
                 // per operation: two passes over the manager list.
                 self.obs.incident("timeout");
                 self.timeouts_this_op += 1;
-                if self.timeouts_this_op as usize > self.cfg.managers.len() * 2 {
+                if self.timeouts_this_op as usize > self.cfg.managers.len() * 2
+                    || ctx.now().since(self.start) >= self.cfg.retry.op_deadline
+                {
                     self.finish_op(ctx, OpOutcome::GaveUp, None);
                     return;
                 }
@@ -717,6 +785,94 @@ mod tests {
         assert!(results.iter().all(|r| r.outcome == OpOutcome::Ok));
         // Ordering: each op starts no earlier than the previous ended.
         assert!(results[2].start >= results[1].end);
+    }
+
+    #[test]
+    fn retry_backoff_doubles_caps_and_jitters() {
+        let p = RetryPolicy::default();
+        // rand=250 -> jitter factor exactly 1.0, so the doubling is exact.
+        assert_eq!(p.backoff(1, 250), Nanos::from_millis(100));
+        assert_eq!(p.backoff(2, 250), Nanos::from_millis(200));
+        assert_eq!(p.backoff(3, 250), Nanos::from_millis(400));
+        // Attempt 10 would be 51.2s un-capped; the cap is a hard ceiling
+        // even at maximum jitter.
+        assert_eq!(p.backoff(10, 499), p.backoff_cap);
+        assert_eq!(p.backoff(u32::MAX, 499), p.backoff_cap);
+        // Jitter stays within [0.75x, 1.25x) of the nominal delay.
+        for rand in [0u64, 123, 321, 499, u64::MAX] {
+            let d = p.backoff(2, rand).0;
+            assert!((150_000_000..250_000_000).contains(&d), "attempt 2 jitter {d}");
+        }
+        // Never zero, even with a degenerate base.
+        let tiny = RetryPolicy { backoff_base: Nanos(1), ..RetryPolicy::default() };
+        assert!(tiny.backoff(1, 0).0 >= 1);
+    }
+
+    #[test]
+    fn wait_budget_exhaustion_is_terminal_gave_up() {
+        // A manager that answers every request with Wait never lets the op
+        // finish; the retry budget must turn that into a terminal GaveUp
+        // rather than an endless wait loop.
+        struct AlwaysWait;
+        impl Node for AlwaysWait {
+            fn on_message(&mut self, ctx: &mut dyn NetCtx, from: Addr, msg: Msg) {
+                if matches!(msg, Msg::Client(_)) {
+                    ctx.send(from, ServerMsg::Wait { millis: 5 }.into());
+                }
+            }
+        }
+        let mut net = SimNet::new(LatencyModel::fixed(Nanos::from_micros(20)), 1);
+        let dir = Arc::new(Directory::new());
+        let mgr = net.add_node(Box::new(AlwaysWait));
+        let mut cfg = ClientConfig::new(
+            mgr,
+            dir.clone(),
+            vec![ClientOp::Open { path: "/data/f".into(), write: false }],
+        );
+        cfg.retry.max_waits = 3;
+        cfg.retry.backoff_base = Nanos::from_millis(1);
+        let client = net.add_node(Box::new(ClientNode::new(cfg)));
+        net.start();
+        net.run_until(Nanos::from_secs(60));
+        let node = net.node_mut(client).as_any_mut().unwrap();
+        let results = node.downcast_ref::<ClientNode>().unwrap().results();
+        assert_eq!(results.len(), 1, "op must terminate");
+        assert_eq!(results[0].outcome, OpOutcome::GaveUp);
+        assert_eq!(results[0].waits, 4, "budget of 3 plus the exhausting attempt");
+    }
+
+    #[test]
+    fn op_deadline_bounds_wait_loops() {
+        // Huge Wait hints with a generous wait budget: the per-op deadline
+        // must still force termination.
+        struct SlowWait;
+        impl Node for SlowWait {
+            fn on_message(&mut self, ctx: &mut dyn NetCtx, from: Addr, msg: Msg) {
+                if matches!(msg, Msg::Client(_)) {
+                    ctx.send(from, ServerMsg::Wait { millis: 10_000 }.into());
+                }
+            }
+        }
+        let mut net = SimNet::new(LatencyModel::fixed(Nanos::from_micros(20)), 1);
+        let dir = Arc::new(Directory::new());
+        let mgr = net.add_node(Box::new(SlowWait));
+        let mut cfg = ClientConfig::new(
+            mgr,
+            dir.clone(),
+            vec![ClientOp::Open { path: "/data/f".into(), write: false }],
+        );
+        cfg.retry.max_waits = 1000;
+        cfg.retry.op_deadline = Nanos::from_secs(15);
+        let client = net.add_node(Box::new(ClientNode::new(cfg)));
+        net.start();
+        net.run_until(Nanos::from_secs(120));
+        let node = net.node_mut(client).as_any_mut().unwrap();
+        let results = node.downcast_ref::<ClientNode>().unwrap().results();
+        assert_eq!(results.len(), 1, "op must terminate");
+        assert_eq!(results[0].outcome, OpOutcome::GaveUp);
+        let elapsed = results[0].end.since(results[0].start);
+        assert!(elapsed >= Nanos::from_secs(15), "deadline honoured, took {elapsed:?}");
+        assert!(elapsed < Nanos::from_secs(40), "gave up promptly, took {elapsed:?}");
     }
 
     #[test]

@@ -19,4 +19,4 @@ pub mod directory;
 pub mod driver;
 
 pub use directory::Directory;
-pub use driver::{ClientConfig, ClientNode, ClientOp, OpOutcome, OpResult};
+pub use driver::{ClientConfig, ClientNode, ClientOp, OpOutcome, OpResult, RetryPolicy};

@@ -202,6 +202,20 @@ impl Membership {
         }
     }
 
+    /// Marks an offline server active again without a full login (case 3,
+    /// observed implicitly: traffic from the server proves it is alive
+    /// before its Login arrives). Returns `true` when the slot actually
+    /// transitioned Offline→Active, so the caller can count the recovery.
+    pub fn revive(&mut self, id: ServerId) -> bool {
+        let slot = &mut self.slots[id as usize];
+        if matches!(slot.state, SlotState::Offline { .. }) {
+            slot.state = SlotState::Active;
+            true
+        } else {
+            false
+        }
+    }
+
     /// Drops every server that has been offline longer than the configured
     /// limit (case 2). Returns the dropped set; their bits are removed from
     /// every `V_m` here, and the caller should purge selection state.
@@ -339,6 +353,22 @@ mod tests {
         m.check_drops(Nanos::from_secs(120));
         let out = m.login("srv-c", &exports(&["/c"]), Nanos::from_secs(121));
         assert_eq!(out, LoginOutcome::New(0), "freed slot is reused");
+    }
+
+    #[test]
+    fn revive_restores_offline_members_only() {
+        let mut m = Membership::new(cfg());
+        m.login("srv-a", &exports(&["/a"]), Nanos::ZERO);
+        m.login("srv-b", &exports(&["/b"]), Nanos::ZERO);
+        m.disconnect(0, Nanos::from_secs(1));
+        assert!(m.revive(0), "offline -> active counts as a recovery");
+        assert_eq!(m.active(), ServerSet(0b11));
+        assert_eq!(m.offline(), ServerSet::EMPTY);
+        // Already-active and empty slots are not "revived".
+        assert!(!m.revive(1));
+        assert!(!m.revive(7));
+        // Exports survived the round trip.
+        assert_eq!(m.vm_for("/a/f"), ServerSet::single(0));
     }
 
     #[test]

@@ -322,6 +322,7 @@ impl CmsdNode {
             return; // Response from a dropped member: stale, ignore.
         };
         self.last_heard[slot as usize] = ctx.now();
+        self.note_alive(slot);
         let released = self.cache.update_have_hashed(&path, hash, slot, staging);
         if self.obs.is_enabled() {
             self.obs.span(
@@ -359,12 +360,16 @@ impl CmsdNode {
         name: String,
         exports: Vec<String>,
     ) {
+        let was_offline = self.members.offline();
         match self.members.login(&name, &exports, ctx.now()) {
             LoginOutcome::ClusterFull => {
                 ctx.send(from, CmsMsg::LoginRejected { reason: "server set full".into() }.into());
             }
             outcome => {
                 let slot = outcome.id().expect("non-full outcomes carry an id");
+                if was_offline.contains(slot) {
+                    self.recovery_event("peer_reconnected");
+                }
                 // "Login is also the time that the server is added to V_c."
                 self.cache.note_connect(slot);
                 // Clear any stale mapping for a reused slot.
@@ -384,6 +389,50 @@ impl CmsdNode {
                 self.name_to_slot.insert(name, slot);
                 self.last_heard[slot as usize] = ctx.now();
                 ctx.send(from, CmsMsg::LoginOk { slot }.into());
+            }
+        }
+    }
+
+    /// Records a recovery transition as both an incident (flight recorder)
+    /// and a labelled counter, so chaos harnesses can pair deaths with
+    /// reconnects per reason.
+    fn recovery_event(&self, event: &'static str) {
+        if self.obs.is_enabled() {
+            self.obs.incident(event);
+            self.obs.count("scalla_recovery_events_total", &[("event", event)], 1);
+        }
+    }
+
+    /// A subordinate believed offline just spoke (load report, Have, or
+    /// re-login): mark it active again and count the reconnect.
+    fn note_alive(&mut self, slot: ServerId) {
+        if self.members.revive(slot) {
+            self.recovery_event("peer_reconnected");
+        }
+    }
+
+    /// A subordinate went silent past the health window: mark it offline
+    /// and re-flood every resolution it was involved in to the surviving
+    /// eligible servers, so parked waiters are answered by an alternate
+    /// subtree instead of stalling until their deadline.
+    fn on_peer_silent(&mut self, ctx: &mut dyn NetCtx, slot: ServerId) {
+        self.recovery_event("peer_dead");
+        let offline = self.members.offline();
+        for (path, locref, ask) in self.cache.requery_on_disconnect(slot, offline) {
+            let reqid = self.fresh_reqid();
+            let hash = crc32(path.as_bytes());
+            let mut unreachable = ServerSet::EMPTY;
+            for s in ask {
+                match self.child_addr[s as usize] {
+                    Some(addr) => ctx.send(
+                        addr,
+                        CmsMsg::Locate { reqid, path: path.clone(), hash, write: false }.into(),
+                    ),
+                    None => unreachable.insert(s),
+                }
+            }
+            if !unreachable.is_empty() {
+                self.cache.requeue(&path, locref, unreachable);
             }
         }
     }
@@ -452,6 +501,7 @@ impl Node for CmsdNode {
                 if let Some(&slot) = self.addr_to_slot.get(&from) {
                     self.members.report_load(slot, load, free_bytes);
                     self.last_heard[slot as usize] = ctx.now();
+                    self.note_alive(slot);
                 }
             }
             Msg::Client(ClientMsg::Open { path, write, refresh, avoid }) => {
@@ -509,10 +559,15 @@ impl Node for CmsdNode {
             }
             tokens::HEALTH => {
                 let now = ctx.now();
+                let mut silent = ServerSet::EMPTY;
                 for slot in self.members.active() {
                     if now.since(self.last_heard[slot as usize]) > self.cfg.offline_after {
                         self.members.disconnect(slot, now);
+                        silent.insert(slot);
                     }
+                }
+                for slot in silent {
+                    self.on_peer_silent(ctx, slot);
                 }
                 ctx.set_timer(
                     self.cfg.offline_after.div(2).max(Nanos::from_millis(100)),
@@ -881,6 +936,91 @@ mod tests {
             .filter(|(_, m)| matches!(m, Msg::Server(ServerMsg::PrepareOk)))
             .count();
         assert_eq!(acks, 1);
+    }
+
+    #[test]
+    fn silent_holder_triggers_requery_of_survivors() {
+        let clock = Arc::new(VirtualClock::new());
+        let mut node = mk_manager(clock.clone());
+        let mut ctx = MockCtx::new();
+        let addrs = login_servers(&mut node, &mut ctx, 3);
+        // srv-1 goes silent first, so a later resolution parks it in V_q.
+        clock.advance(Nanos::from_secs(5));
+        ctx.now = clock.now();
+        for a in [addrs[0], addrs[2]] {
+            node.on_message(&mut ctx, a, CmsMsg::LoadReport { load: 1, free_bytes: 0 }.into());
+        }
+        node.on_timer(&mut ctx, tokens::HEALTH);
+        assert_eq!(node.members().offline(), ServerSet::single(1));
+        // Resolve /data/f: srv-0 and srv-2 are queried now, srv-1 is parked
+        // in V_q (unreachable); srv-0 answers and becomes the known holder.
+        node.on_message(&mut ctx, Addr(7), open("/data/f"));
+        let hash = crc32(b"/data/f");
+        node.on_message(
+            &mut ctx,
+            addrs[0],
+            CmsMsg::Have { reqid: 1, path: "/data/f".into(), hash, staging: false }.into(),
+        );
+        // srv-1 returns to life; then srv-0 — the only believed holder —
+        // goes silent while srv-1/srv-2 keep reporting.
+        node.on_message(&mut ctx, addrs[1], CmsMsg::LoadReport { load: 1, free_bytes: 0 }.into());
+        assert_eq!(node.members().offline(), ServerSet::EMPTY);
+        clock.advance(Nanos::from_secs(5));
+        ctx.now = clock.now();
+        for &a in &addrs[1..] {
+            node.on_message(&mut ctx, a, CmsMsg::LoadReport { load: 1, free_bytes: 0 }.into());
+        }
+        ctx.sends.clear();
+        node.on_timer(&mut ctx, tokens::HEALTH);
+        assert_eq!(node.members().offline(), ServerSet::single(0));
+        // The re-flood must immediately ask the parked survivor (srv-1)
+        // about the orphaned file instead of stranding future waiters.
+        let targets: Vec<Addr> = ctx
+            .sends
+            .iter()
+            .filter_map(|(to, m)| {
+                matches!(m, Msg::Cms(CmsMsg::Locate { path, .. }) if path == "/data/f")
+                    .then_some(*to)
+            })
+            .collect();
+        assert_eq!(targets, vec![addrs[1]], "parked survivor re-queried: {:?}", ctx.sends);
+        // The dead holder is no longer believed: it sits in V_q.
+        let state = node.cache().peek("/data/f").unwrap();
+        assert!(state.vh.is_empty());
+        assert_eq!(state.vq, ServerSet::single(0));
+        // A survivor answers: the parked V_q state resolves to a redirect
+        // for the next client without waiting out the full delay.
+        ctx.sends.clear();
+        node.on_message(
+            &mut ctx,
+            addrs[1],
+            CmsMsg::Have { reqid: 2, path: "/data/f".into(), hash, staging: false }.into(),
+        );
+        node.on_message(&mut ctx, Addr(8), open("/data/f"));
+        assert!(
+            ctx.sends.iter().any(|(to, m)| *to == Addr(8)
+                && matches!(m, Msg::Server(ServerMsg::Redirect { host }) if host == "srv-1")),
+            "{:?}",
+            ctx.sends
+        );
+    }
+
+    #[test]
+    fn traffic_from_offline_member_revives_it() {
+        let clock = Arc::new(VirtualClock::new());
+        let mut node = mk_manager(clock.clone());
+        let mut ctx = MockCtx::new();
+        let addrs = login_servers(&mut node, &mut ctx, 2);
+        clock.advance(Nanos::from_secs(5));
+        ctx.now = clock.now();
+        node.on_message(&mut ctx, addrs[1], CmsMsg::LoadReport { load: 1, free_bytes: 0 }.into());
+        node.on_timer(&mut ctx, tokens::HEALTH);
+        assert_eq!(node.members().offline(), ServerSet::single(0));
+        // A load report from the silent server proves it is alive again —
+        // no full re-login needed (§III-A4 case 3).
+        node.on_message(&mut ctx, addrs[0], CmsMsg::LoadReport { load: 2, free_bytes: 0 }.into());
+        assert_eq!(node.members().offline(), ServerSet::EMPTY);
+        assert_eq!(node.members().active(), ServerSet::first_n(2));
     }
 
     #[test]

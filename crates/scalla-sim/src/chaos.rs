@@ -1,0 +1,652 @@
+//! Deterministic chaos engine: seeded fault plans and runtime fault gates.
+//!
+//! The paper's design brief is to "recover gracefully from failures
+//! expected when a massive amount of hardware is deployed" (§II-A) — so
+//! failures must be *first-class, reproducible inputs*, not ad-hoc test
+//! scaffolding. This module provides one fault vocabulary usable across
+//! all three runtime tiers:
+//!
+//! * [`FaultPlan`] — a schedule of [`Fault`]s, either hand-written or
+//!   generated from a seed + [`ChaosProfile`]. Equal seeds give equal
+//!   plans; a failing soak prints its seed for exact replay.
+//! * [`ChaosScheduler`] — drives a plan against the discrete-event
+//!   [`SimNet`], interleaving fault application with event execution and
+//!   recording what was applied when (for recovery-time measurement).
+//! * [`FaultGates`] — the live/TCP counterpart: a cheap shared handle the
+//!   runtimes consult per message. Disengaged (the default, and whenever
+//!   every knob is back to neutral) it costs one relaxed atomic load.
+//!   Decisions are deterministic: a seeded hash of the gate's roll
+//!   counter, not a global RNG, so a given seed and message order always
+//!   yields the same drops.
+//! * [`poll_until`] / [`assert_poll`] — the shared deadline-poll helper
+//!   the live-runtime tests use instead of hand-rolled busy-wait loops.
+//!
+//! Fault *application* is itself observable: the scheduler counts every
+//! fault in `scalla_chaos_faults_total{fault=...}` and marks a
+//! `partition_healed` incident when a partition closes, pairing with the
+//! `peer_dead` / `peer_reconnected` incidents the recovery machinery
+//! emits (egress writer state machine, cmsd health monitor).
+
+use scalla_obs::Obs;
+use scalla_proto::Addr;
+use scalla_simnet::{LatencyModel, SimNet};
+use scalla_util::{Nanos, SplitMix64};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One injectable fault (or its recovery counterpart).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Take a node down: its messages (both directions) drop, timers die.
+    Crash(Addr),
+    /// Bring a crashed node back; it restarts its state machine
+    /// (`on_start`, i.e. re-login for servers).
+    Restart(Addr),
+    /// Bidirectional blackhole between two nodes.
+    Partition(Addr, Addr),
+    /// Remove the blackhole.
+    Heal(Addr, Addr),
+    /// Override one link's latency (delay spike).
+    DelaySpike {
+        /// One endpoint.
+        a: Addr,
+        /// Other endpoint.
+        b: Addr,
+        /// The spiked latency model.
+        model: LatencyModel,
+    },
+    /// Drop a link latency override back to the default.
+    DelayClear {
+        /// One endpoint.
+        a: Addr,
+        /// Other endpoint.
+        b: Addr,
+    },
+    /// Set the global message-loss rate (0 ends the burst).
+    Loss {
+        /// Per-mille of messages dropped.
+        permille: u16,
+    },
+    /// Set the global duplication rate (0 ends the burst).
+    Dup {
+        /// Per-mille of messages delivered twice.
+        permille: u16,
+    },
+    /// Set the bounded reorder jitter (ZERO restores FIFO).
+    Reorder {
+        /// Extra uniform per-message delay in `[0, jitter)`.
+        jitter: Nanos,
+    },
+}
+
+impl Fault {
+    /// The `fault` label value for `scalla_chaos_faults_total`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Fault::Crash(_) => "crash",
+            Fault::Restart(_) => "restart",
+            Fault::Partition(..) => "partition",
+            Fault::Heal(..) => "heal",
+            Fault::DelaySpike { .. } => "delay_spike",
+            Fault::DelayClear { .. } => "delay_clear",
+            Fault::Loss { .. } => "loss",
+            Fault::Dup { .. } => "dup",
+            Fault::Reorder { .. } => "reorder",
+        }
+    }
+
+    /// Whether this fault *restores* service (a recovery point for the
+    /// time-to-first-successful-op metric).
+    pub fn is_recovery(&self) -> bool {
+        matches!(self, Fault::Restart(_) | Fault::Heal(..) | Fault::Loss { permille: 0 })
+    }
+}
+
+/// A fault scheduled at a virtual-clock instant.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultEvent {
+    /// When to apply the fault.
+    pub at: Nanos,
+    /// What to apply.
+    pub fault: Fault,
+}
+
+/// The fault families the seeded generator knows how to compose.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosProfile {
+    /// Crash data servers and restart them after a bounded downtime.
+    CrashRestart,
+    /// Partition manager↔server links and heal them.
+    PartitionHeal,
+    /// Loss, duplication, and reorder bursts (always cleared before the
+    /// horizon).
+    LossBurst,
+}
+
+impl ChaosProfile {
+    /// All profiles, for soak loops.
+    pub const ALL: [ChaosProfile; 3] =
+        [ChaosProfile::CrashRestart, ChaosProfile::PartitionHeal, ChaosProfile::LossBurst];
+
+    /// Short name for logs and the machine-readable summary.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ChaosProfile::CrashRestart => "crash_restart",
+            ChaosProfile::PartitionHeal => "partition_heal",
+            ChaosProfile::LossBurst => "loss_burst",
+        }
+    }
+}
+
+/// A seeded, time-sorted schedule of faults. Every disruptive fault the
+/// generator emits is paired with its recovery before the horizon, so a
+/// plan always ends with the cluster nominally whole.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// The seed that produced this plan (0 for hand-written plans).
+    pub seed: u64,
+    /// Events in non-decreasing time order.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (the no-fault control run).
+    pub fn empty() -> FaultPlan {
+        FaultPlan { seed: 0, events: Vec::new() }
+    }
+
+    /// A hand-written plan; events are sorted by time.
+    pub fn from_events(mut events: Vec<FaultEvent>) -> FaultPlan {
+        events.sort_by_key(|e| e.at);
+        FaultPlan { seed: 0, events }
+    }
+
+    /// Generates a seeded plan of `profile` faults against `targets`
+    /// (data servers — crash / partition victims) and `spine` (managers /
+    /// supervisors — the far end of partitions), with all activity inside
+    /// `[start, horizon)` and every fault healed before `horizon`.
+    pub fn random(
+        seed: u64,
+        profile: ChaosProfile,
+        targets: &[Addr],
+        spine: &[Addr],
+        start: Nanos,
+        horizon: Nanos,
+    ) -> FaultPlan {
+        assert!(horizon.0 > start.0, "horizon must lie after start");
+        assert!(!targets.is_empty(), "need at least one fault target");
+        let mut rng = SplitMix64::new(seed ^ 0xC4A0_5A11);
+        let span = horizon.0 - start.0;
+        // Recovery must land strictly before the horizon with slack for
+        // the cluster to converge inside the plan window; bursts get
+        // disjoint time slices so a node is never crashed twice at once.
+        let active = span * 7 / 10;
+        let mut events = Vec::new();
+        let bursts = 1 + rng.next_below(2); // 1..=2 disruption cycles
+        let slice = active / bursts;
+        for burst in 0..bursts {
+            let lo = start.0 + burst * slice;
+            let at = Nanos(lo + rng.next_below(slice * 2 / 5));
+            let dwell = 1 + rng.next_below(slice - (at.0 - lo) - 1);
+            let end = Nanos(at.0 + dwell);
+            match profile {
+                ChaosProfile::CrashRestart => {
+                    let t = targets[rng.next_below(targets.len() as u64) as usize];
+                    events.push(FaultEvent { at, fault: Fault::Crash(t) });
+                    events.push(FaultEvent { at: end, fault: Fault::Restart(t) });
+                }
+                ChaosProfile::PartitionHeal => {
+                    let t = targets[rng.next_below(targets.len() as u64) as usize];
+                    let s = if spine.is_empty() {
+                        targets[rng.next_below(targets.len() as u64) as usize]
+                    } else {
+                        spine[rng.next_below(spine.len() as u64) as usize]
+                    };
+                    if s == t {
+                        continue;
+                    }
+                    events.push(FaultEvent { at, fault: Fault::Partition(s, t) });
+                    events.push(FaultEvent { at: end, fault: Fault::Heal(s, t) });
+                }
+                ChaosProfile::LossBurst => {
+                    let permille = 50 + rng.next_below(250) as u16;
+                    events.push(FaultEvent { at, fault: Fault::Loss { permille } });
+                    events.push(FaultEvent { at: end, fault: Fault::Loss { permille: 0 } });
+                    let dup = 50 + rng.next_below(200) as u16;
+                    events.push(FaultEvent { at, fault: Fault::Dup { permille: dup } });
+                    events.push(FaultEvent { at: end, fault: Fault::Dup { permille: 0 } });
+                    let jitter = Nanos::from_micros(100 + rng.next_below(400));
+                    events.push(FaultEvent { at, fault: Fault::Reorder { jitter } });
+                    events.push(FaultEvent {
+                        at: end,
+                        fault: Fault::Reorder { jitter: Nanos::ZERO },
+                    });
+                }
+            }
+        }
+        events.sort_by_key(|e| e.at);
+        FaultPlan { seed, events }
+    }
+}
+
+/// Drives a [`FaultPlan`] against a [`SimNet`], interleaving simulated
+/// execution with fault application and recording what it applied.
+pub struct ChaosScheduler {
+    plan: FaultPlan,
+    next: usize,
+    /// Faults actually applied, with their application times.
+    pub applied: Vec<(Nanos, Fault)>,
+    obs: Obs,
+}
+
+impl ChaosScheduler {
+    /// A scheduler with no observability attached.
+    pub fn new(plan: FaultPlan) -> ChaosScheduler {
+        ChaosScheduler::with_obs(plan, Obs::disabled())
+    }
+
+    /// A scheduler counting faults into `obs` as it applies them.
+    pub fn with_obs(plan: FaultPlan, obs: Obs) -> ChaosScheduler {
+        ChaosScheduler { plan, next: 0, applied: Vec::new(), obs }
+    }
+
+    /// The plan's seed (for replay messages).
+    pub fn seed(&self) -> u64 {
+        self.plan.seed
+    }
+
+    /// Whether every scheduled fault has been applied.
+    pub fn exhausted(&self) -> bool {
+        self.next >= self.plan.events.len()
+    }
+
+    /// Runs the net up to `until`, applying every fault that falls due
+    /// along the way at its exact virtual instant.
+    pub fn run(&mut self, net: &mut SimNet, until: Nanos) {
+        while self.next < self.plan.events.len() && self.plan.events[self.next].at <= until {
+            let ev = self.plan.events[self.next];
+            self.next += 1;
+            net.run_until(ev.at);
+            self.apply(net, ev.fault);
+        }
+        net.run_until(until);
+    }
+
+    /// Times at which service was restored (restart / heal / burst end) —
+    /// the anchors for recovery-latency percentiles.
+    pub fn recovery_points(&self) -> Vec<Nanos> {
+        self.applied.iter().filter(|(_, f)| f.is_recovery()).map(|(at, _)| *at).collect()
+    }
+
+    fn apply(&mut self, net: &mut SimNet, fault: Fault) {
+        match fault {
+            Fault::Crash(a) => net.kill(a),
+            Fault::Restart(a) => net.revive(a),
+            Fault::Partition(a, b) => net.partition(a, b),
+            Fault::Heal(a, b) => {
+                net.heal(a, b);
+                self.obs.incident("partition_healed");
+            }
+            Fault::DelaySpike { a, b, model } => net.set_link(a, b, model),
+            Fault::DelayClear { a, b } => net.clear_link(a, b),
+            Fault::Loss { permille } => net.set_loss_permille(permille),
+            Fault::Dup { permille } => net.set_dup_permille(permille),
+            Fault::Reorder { jitter } => net.set_reorder_jitter(jitter),
+        }
+        self.obs.count("scalla_chaos_faults_total", &[("fault", fault.label())], 1);
+        self.applied.push((net.now(), fault));
+    }
+}
+
+/// What a gate decided about one message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GateVerdict {
+    /// Deliver normally.
+    Deliver,
+    /// Silently drop (crashed endpoint, partitioned pair, or loss roll).
+    Drop,
+    /// Deliver twice (duplication roll).
+    Duplicate,
+}
+
+struct GatesInner {
+    /// Fast path: false ⇒ every knob is neutral, skip all checks.
+    engaged: AtomicBool,
+    down: parking_lot::Mutex<HashSet<Addr>>,
+    blocked: parking_lot::Mutex<HashSet<(Addr, Addr)>>,
+    loss_permille: AtomicU64,
+    dup_permille: AtomicU64,
+    /// Decision counter: roll `n` hashes `(seed, n)`, so verdicts are a
+    /// pure function of seed and message order.
+    rolls: AtomicU64,
+    seed: u64,
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
+}
+
+/// Shared fault-injection gate for the live and TCP runtimes.
+///
+/// The runtimes call [`FaultGates::verdict`] once per message (live: on
+/// mailbox push; TCP: on protocol-thread send and inbound dispatch).
+/// Cloning shares state — harness and runtime hold the same gates.
+#[derive(Clone)]
+pub struct FaultGates {
+    inner: Arc<GatesInner>,
+}
+
+impl Default for FaultGates {
+    fn default() -> FaultGates {
+        FaultGates::new(0)
+    }
+}
+
+impl FaultGates {
+    /// Gates with all knobs neutral; `seed` fixes loss/dup decisions.
+    pub fn new(seed: u64) -> FaultGates {
+        FaultGates {
+            inner: Arc::new(GatesInner {
+                engaged: AtomicBool::new(false),
+                down: parking_lot::Mutex::new(HashSet::new()),
+                blocked: parking_lot::Mutex::new(HashSet::new()),
+                loss_permille: AtomicU64::new(0),
+                dup_permille: AtomicU64::new(0),
+                rolls: AtomicU64::new(0),
+                seed,
+                dropped: AtomicU64::new(0),
+                duplicated: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Marks `addr` crashed: all its traffic (both directions) drops.
+    pub fn kill(&self, addr: Addr) {
+        self.inner.down.lock().insert(addr);
+        self.inner.engaged.store(true, Ordering::Release);
+    }
+
+    /// Clears the crash flag (the runtime separately restarts the node).
+    pub fn revive(&self, addr: Addr) {
+        self.inner.down.lock().remove(&addr);
+        self.recompute_engaged();
+    }
+
+    /// Whether `addr` is currently gated down.
+    pub fn is_down(&self, addr: Addr) -> bool {
+        self.inner.engaged.load(Ordering::Acquire) && self.inner.down.lock().contains(&addr)
+    }
+
+    /// Blackholes both directions between `a` and `b`.
+    pub fn partition(&self, a: Addr, b: Addr) {
+        let mut blocked = self.inner.blocked.lock();
+        blocked.insert((a, b));
+        blocked.insert((b, a));
+        drop(blocked);
+        self.inner.engaged.store(true, Ordering::Release);
+    }
+
+    /// Removes the blackhole between `a` and `b`.
+    pub fn heal(&self, a: Addr, b: Addr) {
+        let mut blocked = self.inner.blocked.lock();
+        blocked.remove(&(a, b));
+        blocked.remove(&(b, a));
+        drop(blocked);
+        self.recompute_engaged();
+    }
+
+    /// Sets the per-mille probability of dropping a message.
+    pub fn set_loss_permille(&self, permille: u16) {
+        self.inner.loss_permille.store(permille.min(1000) as u64, Ordering::Relaxed);
+        if permille > 0 {
+            self.inner.engaged.store(true, Ordering::Release);
+        } else {
+            self.recompute_engaged();
+        }
+    }
+
+    /// Sets the per-mille probability of duplicating a message.
+    pub fn set_dup_permille(&self, permille: u16) {
+        self.inner.dup_permille.store(permille.min(1000) as u64, Ordering::Relaxed);
+        if permille > 0 {
+            self.inner.engaged.store(true, Ordering::Release);
+        } else {
+            self.recompute_engaged();
+        }
+    }
+
+    /// Decides the fate of one `from → to` message.
+    #[inline]
+    pub fn verdict(&self, from: Addr, to: Addr) -> GateVerdict {
+        if !self.inner.engaged.load(Ordering::Acquire) {
+            return GateVerdict::Deliver;
+        }
+        self.verdict_slow(from, to)
+    }
+
+    fn verdict_slow(&self, from: Addr, to: Addr) -> GateVerdict {
+        {
+            let down = self.inner.down.lock();
+            if down.contains(&from) || down.contains(&to) {
+                self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+                return GateVerdict::Drop;
+            }
+        }
+        if self.inner.blocked.lock().contains(&(from, to)) {
+            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+            return GateVerdict::Drop;
+        }
+        let loss = self.inner.loss_permille.load(Ordering::Relaxed);
+        let dup = self.inner.dup_permille.load(Ordering::Relaxed);
+        if loss > 0 || dup > 0 {
+            let n = self.inner.rolls.fetch_add(1, Ordering::Relaxed);
+            let mut r = SplitMix64::new(self.inner.seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            if loss > 0 && r.next_below(1000) < loss {
+                self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+                return GateVerdict::Drop;
+            }
+            if dup > 0 && r.next_below(1000) < dup {
+                self.inner.duplicated.fetch_add(1, Ordering::Relaxed);
+                return GateVerdict::Duplicate;
+            }
+        }
+        GateVerdict::Deliver
+    }
+
+    /// Messages the gates dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Messages the gates duplicated so far.
+    pub fn duplicated(&self) -> u64 {
+        self.inner.duplicated.load(Ordering::Relaxed)
+    }
+
+    fn recompute_engaged(&self) {
+        let engaged = !self.inner.down.lock().is_empty()
+            || !self.inner.blocked.lock().is_empty()
+            || self.inner.loss_permille.load(Ordering::Relaxed) > 0
+            || self.inner.dup_permille.load(Ordering::Relaxed) > 0;
+        self.inner.engaged.store(engaged, Ordering::Release);
+    }
+}
+
+/// Polls `cond` every few milliseconds until it holds or `timeout`
+/// elapses; returns whether it held. Replaces the hand-rolled busy-wait
+/// deadline loops the live-runtime tests used to copy around.
+pub fn poll_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if cond() {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return cond();
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Panics with `context` if `cond` does not hold within `timeout`.
+#[track_caller]
+pub fn assert_poll(timeout: Duration, context: &str, cond: impl FnMut() -> bool) {
+    assert!(poll_until(timeout, cond), "condition not met within {timeout:?}: {context}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs(n: u64) -> Vec<Addr> {
+        (0..n).map(Addr).collect()
+    }
+
+    #[test]
+    fn equal_seeds_give_equal_plans() {
+        let targets = addrs(4);
+        let spine = [Addr(9)];
+        for profile in ChaosProfile::ALL {
+            let a =
+                FaultPlan::random(7, profile, &targets, &spine, Nanos::ZERO, Nanos::from_secs(10));
+            let b =
+                FaultPlan::random(7, profile, &targets, &spine, Nanos::ZERO, Nanos::from_secs(10));
+            assert_eq!(format!("{:?}", a.events), format!("{:?}", b.events), "{profile:?}");
+            let c =
+                FaultPlan::random(8, profile, &targets, &spine, Nanos::ZERO, Nanos::from_secs(10));
+            assert_ne!(format!("{:?}", a.events), format!("{:?}", c.events), "{profile:?}");
+        }
+    }
+
+    #[test]
+    fn every_disruption_is_paired_with_recovery_before_horizon() {
+        let targets = addrs(5);
+        let spine = [Addr(8)];
+        let horizon = Nanos::from_secs(20);
+        for profile in ChaosProfile::ALL {
+            for seed in 1..50u64 {
+                let plan = FaultPlan::random(seed, profile, &targets, &spine, Nanos::ZERO, horizon);
+                let mut down: HashSet<Addr> = HashSet::new();
+                let mut cut: HashSet<(Addr, Addr)> = HashSet::new();
+                let (mut loss, mut dup, mut jitter) = (0u16, 0u16, Nanos::ZERO);
+                for ev in &plan.events {
+                    assert!(ev.at < horizon, "seed {seed}: fault past horizon");
+                    match ev.fault {
+                        Fault::Crash(a) => assert!(down.insert(a)),
+                        Fault::Restart(a) => assert!(down.remove(&a)),
+                        Fault::Partition(a, b) => {
+                            cut.insert((a, b));
+                        }
+                        Fault::Heal(a, b) => {
+                            assert!(cut.remove(&(a, b)));
+                        }
+                        Fault::Loss { permille } => loss = permille,
+                        Fault::Dup { permille } => dup = permille,
+                        Fault::Reorder { jitter: j } => jitter = j,
+                        _ => {}
+                    }
+                }
+                assert!(down.is_empty(), "seed {seed}: node left crashed");
+                assert!(cut.is_empty(), "seed {seed}: partition left open");
+                assert_eq!((loss, dup, jitter), (0, 0, Nanos::ZERO), "seed {seed}: burst left on");
+            }
+        }
+    }
+
+    #[test]
+    fn gates_disengaged_always_deliver() {
+        let g = FaultGates::new(1);
+        for i in 0..100 {
+            assert_eq!(g.verdict(Addr(i), Addr(i + 1)), GateVerdict::Deliver);
+        }
+        assert_eq!(g.dropped(), 0);
+    }
+
+    #[test]
+    fn gates_drop_for_down_nodes_and_partitions() {
+        let g = FaultGates::new(1);
+        g.kill(Addr(1));
+        assert_eq!(g.verdict(Addr(1), Addr(2)), GateVerdict::Drop);
+        assert_eq!(g.verdict(Addr(2), Addr(1)), GateVerdict::Drop);
+        assert_eq!(g.verdict(Addr(2), Addr(3)), GateVerdict::Deliver);
+        g.revive(Addr(1));
+        assert_eq!(g.verdict(Addr(1), Addr(2)), GateVerdict::Deliver);
+
+        g.partition(Addr(4), Addr(5));
+        assert_eq!(g.verdict(Addr(4), Addr(5)), GateVerdict::Drop);
+        assert_eq!(g.verdict(Addr(5), Addr(4)), GateVerdict::Drop);
+        assert_eq!(g.verdict(Addr(4), Addr(6)), GateVerdict::Deliver);
+        g.heal(Addr(4), Addr(5));
+        assert_eq!(g.verdict(Addr(5), Addr(4)), GateVerdict::Deliver);
+        assert_eq!(g.dropped(), 4);
+    }
+
+    #[test]
+    fn gates_loss_and_dup_are_seed_deterministic() {
+        let run = |seed| {
+            let g = FaultGates::new(seed);
+            g.set_loss_permille(300);
+            g.set_dup_permille(300);
+            (0..1000).map(|i| g.verdict(Addr(0), Addr(i))).collect::<Vec<_>>()
+        };
+        let a = run(42);
+        assert_eq!(a, run(42), "same seed, same verdict sequence");
+        assert_ne!(a, run(43), "different seed diverges");
+        let drops = a.iter().filter(|v| **v == GateVerdict::Drop).count();
+        let dups = a.iter().filter(|v| **v == GateVerdict::Duplicate).count();
+        assert!((200..=400).contains(&drops), "drops {drops}");
+        assert!((100..=350).contains(&dups), "dups {dups}");
+        // Extremes: everything drops / everything duplicates.
+        let g = FaultGates::new(1);
+        g.set_loss_permille(1000);
+        assert_eq!(g.verdict(Addr(0), Addr(1)), GateVerdict::Drop);
+        g.set_loss_permille(0);
+        g.set_dup_permille(1000);
+        assert_eq!(g.verdict(Addr(0), Addr(1)), GateVerdict::Duplicate);
+        g.set_dup_permille(0);
+        assert_eq!(g.verdict(Addr(0), Addr(1)), GateVerdict::Deliver);
+    }
+
+    #[test]
+    fn scheduler_applies_plan_against_simnet_and_records_recovery_points() {
+        use scalla_simnet::{LatencyModel, NetCtx, Node};
+        struct Idle;
+        impl Node for Idle {
+            fn on_message(&mut self, _: &mut dyn NetCtx, _: Addr, _: scalla_proto::Msg) {}
+        }
+        let mut net = SimNet::new(LatencyModel::fixed(Nanos::from_micros(10)), 3);
+        let a = net.add_node(Box::new(Idle));
+        let b = net.add_node(Box::new(Idle));
+        net.start();
+        let plan = FaultPlan::from_events(vec![
+            FaultEvent { at: Nanos::from_millis(10), fault: Fault::Crash(a) },
+            FaultEvent { at: Nanos::from_millis(30), fault: Fault::Restart(a) },
+            FaultEvent { at: Nanos::from_millis(40), fault: Fault::Partition(a, b) },
+            FaultEvent { at: Nanos::from_millis(60), fault: Fault::Heal(a, b) },
+        ]);
+        let obs = Obs::enabled();
+        let mut sched = ChaosScheduler::with_obs(plan, obs.clone());
+        sched.run(&mut net, Nanos::from_millis(100));
+        assert!(sched.exhausted());
+        assert_eq!(net.now(), Nanos::from_millis(100));
+        assert_eq!(sched.applied.len(), 4);
+        assert_eq!(sched.recovery_points(), vec![Nanos::from_millis(30), Nanos::from_millis(60)]);
+        let text = obs.registry().prometheus_text();
+        assert!(text.contains("scalla_chaos_faults_total{fault=\"crash\"} 1"), "{text}");
+        assert!(text.contains("scalla_chaos_faults_total{fault=\"heal\"} 1"), "{text}");
+        assert_eq!(obs.flight().incidents(), 1, "heal marks partition_healed");
+    }
+
+    #[test]
+    fn poll_until_reports_conditions_and_respects_deadline() {
+        let mut calls = 0;
+        assert!(poll_until(Duration::from_millis(50), || {
+            calls += 1;
+            calls >= 3
+        }));
+        let t0 = Instant::now();
+        assert!(!poll_until(Duration::from_millis(20), || false));
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+        assert_poll(Duration::from_millis(50), "instant condition", || true);
+    }
+}

@@ -13,33 +13,68 @@
 //!   syscall, so bursts cost one syscall for many frames.
 //! * **Bounded blocking** — connects happen on the writer thread with a
 //!   timeout, writes carry a write timeout, and a peer that stays wedged
-//!   past [`MAX_WRITE_STALLS`] consecutive timeouts is declared dead (its
-//!   frames are dropped and the next frame triggers a fresh connect).
+//!   past the stall budget is declared **dead**.
+//! * **Dead → probing → alive** — a dead peer is *not* dead forever (the
+//!   paper's clusters treat node restart as steady state, §II-A). The
+//!   writer drops frames instantly while a capped exponential backoff
+//!   (with ±25 % jitter, seeded per link) runs down, then spends one
+//!   connect attempt as a probe. Success rejoins the peer — backoff
+//!   resets, a `peer_reconnected` incident fires; failure doubles the
+//!   backoff. The first failing transition fires `peer_dead`. Both edges
+//!   count in `scalla_recovery_events_total{event=...}` so soak tests can
+//!   assert matched dead/reconnected pairs.
 //! * **Deterministic shutdown** — dropping the queue's sender wakes the
 //!   writer out of `recv`; the stop flag breaks any in-flight stall loop.
 
 use bytes::BytesMut;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use parking_lot::RwLock;
+use scalla_obs::Obs;
 use scalla_proto::{Addr, BufferPool};
+use scalla_util::SplitMix64;
 use std::io::{ErrorKind, IoSlice, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Frames a single peer queue can hold before overflow drops begin.
 pub(crate) const QUEUE_CAP: usize = 4096;
 /// Most frames one vectored write will carry.
 const MAX_BATCH: usize = 64;
-/// Writer-side connect budget; a peer that cannot accept in this window
-/// counts as dead for the queued batch.
-const CONNECT_TIMEOUT: Duration = Duration::from_secs(1);
-/// Per-syscall write budget so a stalled socket cannot hold the writer
-/// (and therefore shutdown) hostage.
-const WRITE_TIMEOUT: Duration = Duration::from_millis(100);
-/// Consecutive write timeouts before the peer is declared dead.
-const MAX_WRITE_STALLS: u32 = 50;
+
+/// Writer-thread timeouts and the dead-peer probing schedule.
+///
+/// The defaults match production-ish settings; tests shrink them to make
+/// death detection and reconnection fast.
+#[derive(Clone, Copy, Debug)]
+pub struct EgressTuning {
+    /// Writer-side connect budget; a peer that cannot accept in this
+    /// window counts as dead for the queued batch.
+    pub connect_timeout: Duration,
+    /// Per-syscall write budget so a stalled socket cannot hold the
+    /// writer (and therefore shutdown) hostage.
+    pub write_timeout: Duration,
+    /// Consecutive write timeouts before the peer is declared dead.
+    pub max_write_stalls: u32,
+    /// First probe delay after a peer dies.
+    pub probe_backoff_min: Duration,
+    /// Probe delay ceiling (backoff doubles per failed probe up to this).
+    pub probe_backoff_max: Duration,
+}
+
+impl Default for EgressTuning {
+    fn default() -> EgressTuning {
+        EgressTuning {
+            connect_timeout: Duration::from_secs(1),
+            write_timeout: Duration::from_millis(100),
+            max_write_stalls: 50,
+            probe_backoff_min: Duration::from_millis(50),
+            probe_backoff_max: Duration::from_secs(2),
+        }
+    }
+}
 
 /// Cumulative egress counters, shared by every link of a net.
 #[derive(Default)]
@@ -53,6 +88,10 @@ pub(crate) struct EgressStats {
     /// Frames dropped because the peer was unreachable, stalled past the
     /// budget, or the connection broke mid-batch.
     pub conn_drops: AtomicU64,
+    /// Alive→dead transitions across all links.
+    pub peer_deaths: AtomicU64,
+    /// Dead→alive transitions (successful probes) across all links.
+    pub peer_reconnects: AtomicU64,
 }
 
 /// State shared between protocol threads and all writer threads of a net.
@@ -63,6 +102,10 @@ pub(crate) struct EgressShared {
     pub pool: BufferPool,
     /// Cumulative counters.
     pub stats: EgressStats,
+    /// Timeouts and probing schedule (tests shrink these).
+    pub tuning: RwLock<EgressTuning>,
+    /// Recovery-incident sink (`peer_dead` / `peer_reconnected`).
+    pub obs: RwLock<Obs>,
 }
 
 impl EgressShared {
@@ -71,7 +114,15 @@ impl EgressShared {
             stop,
             pool: BufferPool::new(2 * QUEUE_CAP.min(256)),
             stats: EgressStats::default(),
+            tuning: RwLock::new(EgressTuning::default()),
+            obs: RwLock::new(Obs::disabled()),
         }
+    }
+
+    fn recovery_event(&self, event: &'static str) {
+        let obs = self.obs.read().clone();
+        obs.incident(event);
+        obs.count("scalla_recovery_events_total", &[("event", event)], 1);
     }
 }
 
@@ -116,8 +167,50 @@ impl EgressLink {
     }
 }
 
+/// Per-link dead-peer state: the current (capped, doubling) backoff and
+/// the earliest instant the next connect probe may fire.
+struct DeadPeer {
+    backoff: Duration,
+    next_probe: Instant,
+}
+
+impl DeadPeer {
+    /// Applies ±25 % jitter so a restarted hub isn't hit by every writer
+    /// in the same instant.
+    fn jittered(backoff: Duration, rng: &mut SplitMix64) -> Duration {
+        backoff.mul_f64(0.75 + rng.next_f64() * 0.5)
+    }
+}
+
+/// Records a failed connect/write: first failure marks the peer dead
+/// (incident + counter), later failures double the probe backoff.
+fn mark_dead(
+    dead: &mut Option<DeadPeer>,
+    tuning: &EgressTuning,
+    rng: &mut SplitMix64,
+    shared: &EgressShared,
+) {
+    match dead {
+        None => {
+            shared.stats.peer_deaths.fetch_add(1, Ordering::Relaxed);
+            shared.recovery_event("peer_dead");
+            let backoff = tuning.probe_backoff_min;
+            *dead = Some(DeadPeer {
+                backoff,
+                next_probe: Instant::now() + DeadPeer::jittered(backoff, rng),
+            });
+        }
+        Some(d) => {
+            d.backoff = (d.backoff * 2).min(tuning.probe_backoff_max);
+            d.next_probe = Instant::now() + DeadPeer::jittered(d.backoff, rng);
+        }
+    }
+}
+
 fn writer_loop(me: Addr, peer: SocketAddr, rx: Receiver<BytesMut>, shared: Arc<EgressShared>) {
     let mut conn: Option<TcpStream> = None;
+    let mut dead: Option<DeadPeer> = None;
+    let mut rng = SplitMix64::new(me.0 ^ ((peer.port() as u64) << 32));
     let mut batch: Vec<BytesMut> = Vec::with_capacity(MAX_BATCH);
     // Block for the next frame; a dropped sender ends the link.
     while let Ok(first) = rx.recv() {
@@ -132,22 +225,39 @@ fn writer_loop(me: Addr, peer: SocketAddr, rx: Receiver<BytesMut>, shared: Arc<E
         if shared.stop.load(Ordering::Relaxed) {
             // Shutting down: don't start connects or writes, just account.
             shared.stats.conn_drops.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        } else if dead.as_ref().is_some_and(|d| Instant::now() < d.next_probe) {
+            // Dead and not yet due for a probe: drop instantly instead of
+            // paying a full connect timeout per batch.
+            shared.stats.conn_drops.fetch_add(batch.len() as u64, Ordering::Relaxed);
         } else {
+            let tuning = *shared.tuning.read();
             if conn.is_none() {
-                conn = connect(me, peer, &shared);
+                conn = connect(me, peer, &tuning, &shared);
+                match &conn {
+                    Some(_) => {
+                        if dead.take().is_some() {
+                            // A probe succeeded: the peer is back.
+                            shared.stats.peer_reconnects.fetch_add(1, Ordering::Relaxed);
+                            shared.recovery_event("peer_reconnected");
+                        }
+                    }
+                    None => mark_dead(&mut dead, &tuning, &mut rng, &shared),
+                }
             }
             let delivered = match conn.as_mut() {
-                Some(stream) => write_batch(stream, &batch, &shared),
+                Some(stream) => write_batch(stream, &batch, &tuning, &shared),
                 None => 0,
             };
             if delivered < batch.len() {
-                // Broken or wedged: drop the link so a later frame retries
-                // a fresh connect (the peer may have restarted).
-                conn = None;
                 shared
                     .stats
                     .conn_drops
                     .fetch_add((batch.len() - delivered) as u64, Ordering::Relaxed);
+                if conn.take().is_some() {
+                    // An established connection broke or wedged: back to
+                    // dead so probing (not every batch) pays the timeout.
+                    mark_dead(&mut dead, &tuning, &mut rng, &shared);
+                }
             }
         }
         for buf in batch.drain(..) {
@@ -157,10 +267,15 @@ fn writer_loop(me: Addr, peer: SocketAddr, rx: Receiver<BytesMut>, shared: Arc<E
 }
 
 /// Connects with a timeout and writes the 8-byte sender-address preamble.
-fn connect(me: Addr, peer: SocketAddr, shared: &EgressShared) -> Option<TcpStream> {
-    let mut stream = TcpStream::connect_timeout(&peer, CONNECT_TIMEOUT).ok()?;
+fn connect(
+    me: Addr,
+    peer: SocketAddr,
+    tuning: &EgressTuning,
+    shared: &EgressShared,
+) -> Option<TcpStream> {
+    let mut stream = TcpStream::connect_timeout(&peer, tuning.connect_timeout).ok()?;
     stream.set_nodelay(true).ok();
-    stream.set_write_timeout(Some(WRITE_TIMEOUT)).ok();
+    stream.set_write_timeout(Some(tuning.write_timeout)).ok();
     let pre = me.0.to_le_bytes();
     let mut written = 0;
     let mut stalls = 0u32;
@@ -173,7 +288,7 @@ fn connect(me: Addr, peer: SocketAddr, shared: &EgressShared) -> Option<TcpStrea
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
                 stalls += 1;
-                if stalls > MAX_WRITE_STALLS || shared.stop.load(Ordering::Relaxed) {
+                if stalls > tuning.max_write_stalls || shared.stop.load(Ordering::Relaxed) {
                     return None;
                 }
             }
@@ -186,7 +301,12 @@ fn connect(me: Addr, peer: SocketAddr, shared: &EgressShared) -> Option<TcpStrea
 
 /// Writes the whole batch with vectored syscalls, handling partial writes
 /// across frame boundaries. Returns the number of frames fully written.
-fn write_batch(stream: &mut TcpStream, batch: &[BytesMut], shared: &EgressShared) -> usize {
+fn write_batch(
+    stream: &mut TcpStream,
+    batch: &[BytesMut],
+    tuning: &EgressTuning,
+    shared: &EgressShared,
+) -> usize {
     let mut idx = 0; // first frame not yet fully written
     let mut off = 0; // bytes of frame `idx` already written
     let mut stalls = 0u32;
@@ -216,7 +336,7 @@ fn write_batch(stream: &mut TcpStream, batch: &[BytesMut], shared: &EgressShared
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
                 stalls += 1;
-                if stalls > MAX_WRITE_STALLS || shared.stop.load(Ordering::Relaxed) {
+                if stalls > tuning.max_write_stalls || shared.stop.load(Ordering::Relaxed) {
                     return idx;
                 }
             }
@@ -230,6 +350,7 @@ fn write_batch(stream: &mut TcpStream, batch: &[BytesMut], shared: &EgressShared
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chaos::poll_until;
     use std::io::Read;
 
     fn shared() -> Arc<EgressShared> {
@@ -289,6 +410,8 @@ mod tests {
             10
         );
         assert_eq!(sh.stats.frames.load(Ordering::Relaxed), 0);
+        assert_eq!(sh.stats.peer_deaths.load(Ordering::Relaxed), 1, "one death transition");
+        assert_eq!(sh.stats.peer_reconnects.load(Ordering::Relaxed), 0);
     }
 
     #[test]
@@ -309,5 +432,80 @@ mod tests {
         let writes = sh.stats.writes.load(Ordering::Relaxed);
         assert_eq!(frames, n);
         assert!(writes <= frames, "coalescing can never need more syscalls than frames");
+    }
+
+    #[test]
+    fn dead_peer_is_rejoined_by_backoff_probing() {
+        // Reserve a port, then free it: connects are refused (the peer is
+        // "down") until the listener is rebound on the same port.
+        let peer = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let sh = shared();
+        *sh.tuning.write() = EgressTuning {
+            probe_backoff_min: Duration::from_millis(10),
+            probe_backoff_max: Duration::from_millis(40),
+            ..EgressTuning::default()
+        };
+        let obs = Obs::enabled();
+        *sh.obs.write() = obs.clone();
+        let link = EgressLink::spawn(Addr(7), peer, sh.clone());
+
+        link.send(frame(b"lost", &sh), &sh);
+        assert!(
+            poll_until(Duration::from_secs(5), || sh.stats.peer_deaths.load(Ordering::Relaxed)
+                == 1),
+            "refused connect must mark the peer dead"
+        );
+
+        // While the backoff runs down, frames drop without connect cost.
+        link.send(frame(b"lost2", &sh), &sh);
+
+        // "Restart" the peer on the very same port; keep feeding frames so
+        // a probe fires once the backoff expires.
+        let listener = std::net::TcpListener::bind(peer).unwrap();
+        let reader = std::thread::spawn(move || drain_after_preamble(listener));
+        assert!(
+            poll_until(Duration::from_secs(5), || {
+                link.send(frame(b"hello", &sh), &sh);
+                std::thread::sleep(Duration::from_millis(5));
+                sh.stats.peer_reconnects.load(Ordering::Relaxed) == 1
+            }),
+            "probe must rejoin the restarted peer"
+        );
+        link.close();
+        let got = reader.join().unwrap();
+        assert!(got.windows(5).any(|w| w == b"hello"), "traffic resumed after rejoin");
+        assert_eq!(sh.stats.peer_deaths.load(Ordering::Relaxed), 1);
+        let text = obs.registry().prometheus_text();
+        assert!(text.contains("scalla_recovery_events_total{event=\"peer_dead\"} 1"), "{text}");
+        assert!(
+            text.contains("scalla_recovery_events_total{event=\"peer_reconnected\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps_with_jitter_bounds() {
+        let tuning = EgressTuning {
+            probe_backoff_min: Duration::from_millis(10),
+            probe_backoff_max: Duration::from_millis(35),
+            ..EgressTuning::default()
+        };
+        let sh = shared();
+        let mut rng = SplitMix64::new(9);
+        let mut dead = None;
+        mark_dead(&mut dead, &tuning, &mut rng, &sh);
+        assert_eq!(dead.as_ref().unwrap().backoff, Duration::from_millis(10));
+        mark_dead(&mut dead, &tuning, &mut rng, &sh);
+        assert_eq!(dead.as_ref().unwrap().backoff, Duration::from_millis(20));
+        mark_dead(&mut dead, &tuning, &mut rng, &sh);
+        assert_eq!(dead.as_ref().unwrap().backoff, Duration::from_millis(35), "capped");
+        assert_eq!(sh.stats.peer_deaths.load(Ordering::Relaxed), 1, "death counted once");
+        for _ in 0..100 {
+            let j = DeadPeer::jittered(Duration::from_millis(100), &mut rng);
+            assert!(j >= Duration::from_millis(75) && j < Duration::from_millis(125), "{j:?}");
+        }
     }
 }

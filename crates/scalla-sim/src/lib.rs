@@ -29,6 +29,7 @@
 //!   the shared [`Obs`](scalla_obs::Obs) registry and flight recorder.
 
 pub mod admin;
+pub mod chaos;
 pub mod cluster;
 mod egress;
 pub mod live;
@@ -38,7 +39,12 @@ pub mod trace;
 pub mod workload;
 
 pub use admin::scrape;
+pub use chaos::{
+    assert_poll, poll_until, ChaosProfile, ChaosScheduler, Fault, FaultEvent, FaultGates,
+    FaultPlan, GateVerdict,
+};
 pub use cluster::{ClusterConfig, SimCluster};
+pub use egress::EgressTuning;
 pub use live::LiveNet;
 pub use metrics::{summarize, EgressCounters, LatencySummary, NetCounters};
 pub use tcp::TcpNet;

@@ -10,6 +10,7 @@
 //! exactly the regime the paper's cmsd operates in on a LAN.
 
 use crate::admin::AdminServer;
+use crate::chaos::{FaultGates, GateVerdict};
 use crate::metrics::NetCounters;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use scalla_obs::Obs;
@@ -22,7 +23,13 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 enum Envelope {
-    Deliver { from: Addr, msg: Msg, trace: u64 },
+    Deliver {
+        from: Addr,
+        msg: Msg,
+        trace: u64,
+    },
+    /// Re-runs `on_start` after a chaos revive (timers cleared first).
+    Restart,
     Stop,
 }
 
@@ -36,6 +43,7 @@ struct LiveCtx<'a> {
     drops: &'a [Arc<AtomicU64>],
     timers: &'a mut BinaryHeap<std::cmp::Reverse<(Nanos, u64)>>,
     rng_state: &'a mut u64,
+    gates: &'a FaultGates,
     /// Trace id of the request being handled; sends inherit it, so a
     /// trace follows the causal chain across hops without any node
     /// knowing about tracing.
@@ -50,12 +58,21 @@ impl NetCtx for LiveCtx<'_> {
         self.me
     }
     fn send(&mut self, to: Addr, msg: Msg) {
+        // Chaos gate: crashed endpoints, partitioned pairs, and loss rolls
+        // eat the message; a dup roll delivers it twice.
+        let copies = match self.gates.verdict(self.me, to) {
+            GateVerdict::Drop => return,
+            GateVerdict::Deliver => 1,
+            GateVerdict::Duplicate => 2,
+        };
         if let Some(tx) = self.senders.get(to.0 as usize) {
-            // A full or disconnected mailbox models a dead peer: drop,
-            // but keep the books.
-            let env = Envelope::Deliver { from: self.me, msg, trace: self.trace };
-            if tx.try_send(env).is_err() {
-                self.drops[to.0 as usize].fetch_add(1, Ordering::Relaxed);
+            for _ in 0..copies {
+                // A full or disconnected mailbox models a dead peer: drop,
+                // but keep the books.
+                let env = Envelope::Deliver { from: self.me, msg: msg.clone(), trace: self.trace };
+                if tx.try_send(env).is_err() {
+                    self.drops[to.0 as usize].fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
     }
@@ -87,6 +104,7 @@ pub struct LiveNet {
     handles: Vec<Option<JoinHandle<Box<dyn Node>>>>,
     started: bool,
     admin: Option<AdminServer>,
+    gates: FaultGates,
 }
 
 impl LiveNet {
@@ -100,6 +118,35 @@ impl LiveNet {
             handles: Vec::new(),
             started: false,
             admin: None,
+            gates: FaultGates::new(0),
+        }
+    }
+
+    /// The chaos gates governing this net's mailboxes (cloning shares
+    /// state, so a harness can drive faults while the net runs).
+    pub fn gates(&self) -> FaultGates {
+        self.gates.clone()
+    }
+
+    /// Replaces the chaos gates (call before [`LiveNet::start`] to pick a
+    /// fault seed).
+    pub fn set_gates(&mut self, gates: FaultGates) {
+        assert!(!self.started, "set_gates before start");
+        self.gates = gates;
+    }
+
+    /// Gates a node down: its messages (both directions) drop and its
+    /// timers stop firing until [`LiveNet::revive`].
+    pub fn kill(&self, addr: Addr) {
+        self.gates.kill(addr);
+    }
+
+    /// Clears the down gate and restarts the node's state machine
+    /// (`on_start` re-runs on its own thread, timers cleared first).
+    pub fn revive(&self, addr: Addr) {
+        self.gates.revive(addr);
+        if let Some(tx) = self.senders.get(addr.0 as usize) {
+            let _ = tx.try_send(Envelope::Restart);
         }
     }
 
@@ -153,6 +200,7 @@ impl LiveNet {
             let clock = self.clock.clone();
             let senders = senders.clone();
             let drops = all_drops.clone();
+            let gates = self.gates.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("scalla-node-{i}"))
                 .spawn(move || {
@@ -166,6 +214,7 @@ impl LiveNet {
                             drops: &drops,
                             timers: &mut timers,
                             rng_state: &mut rng_state,
+                            gates: &gates,
                             trace: 0,
                         };
                         node.on_start(&mut ctx);
@@ -183,6 +232,9 @@ impl LiveNet {
                             }
                         }
                         for token in due {
+                            if gates.is_down(me) {
+                                continue; // a crashed node's timers don't fire
+                            }
                             let mut ctx = LiveCtx {
                                 me,
                                 clock: &clock,
@@ -190,6 +242,7 @@ impl LiveNet {
                                 drops: &drops,
                                 timers: &mut timers,
                                 rng_state: &mut rng_state,
+                                gates: &gates,
                                 trace: 0,
                             };
                             node.on_timer(&mut ctx, token);
@@ -203,6 +256,9 @@ impl LiveNet {
                             .unwrap_or(std::time::Duration::from_millis(50));
                         match rx.recv_timeout(wait) {
                             Ok(Envelope::Deliver { from, msg, trace }) => {
+                                if gates.is_down(me) {
+                                    continue; // a crashed node hears nothing
+                                }
                                 let mut ctx = LiveCtx {
                                     me,
                                     clock: &clock,
@@ -210,9 +266,24 @@ impl LiveNet {
                                     drops: &drops,
                                     timers: &mut timers,
                                     rng_state: &mut rng_state,
+                                    gates: &gates,
                                     trace,
                                 };
                                 node.on_message(&mut ctx, from, msg);
+                            }
+                            Ok(Envelope::Restart) => {
+                                timers.clear();
+                                let mut ctx = LiveCtx {
+                                    me,
+                                    clock: &clock,
+                                    senders: &senders,
+                                    drops: &drops,
+                                    timers: &mut timers,
+                                    rng_state: &mut rng_state,
+                                    gates: &gates,
+                                    trace: 0,
+                                };
+                                node.on_start(&mut ctx);
                             }
                             Ok(Envelope::Stop) => break,
                             Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
@@ -269,8 +340,10 @@ impl Default for LiveNet {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chaos::assert_poll;
     use scalla_proto::{ClientMsg, ServerMsg};
     use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Duration;
 
     struct Echo;
     impl Node for Echo {
@@ -315,12 +388,9 @@ mod tests {
                     .into(),
             );
         }
-        // Wait for the replies to land.
-        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
-        while count.load(Ordering::SeqCst) < 100 && std::time::Instant::now() < deadline {
-            std::thread::sleep(std::time::Duration::from_millis(5));
-        }
-        assert_eq!(count.load(Ordering::SeqCst), 100);
+        assert_poll(Duration::from_secs(5), "all 100 replies land", || {
+            count.load(Ordering::SeqCst) == 100
+        });
         net.shutdown();
     }
 
@@ -330,11 +400,7 @@ mod tests {
         let fired = Arc::new(AtomicU64::new(0));
         net.add_node(Box::new(TimerOnce(fired.clone())));
         net.start();
-        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
-        while fired.load(Ordering::SeqCst) == 0 && std::time::Instant::now() < deadline {
-            std::thread::sleep(std::time::Duration::from_millis(5));
-        }
-        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        assert_poll(Duration::from_secs(5), "timer fires", || fired.load(Ordering::SeqCst) == 1);
         net.shutdown();
     }
 
@@ -393,11 +459,45 @@ mod tests {
         let echo = net.add_node(Box::new(Echo));
         net.add_node(Box::new(TraceMinter { peer: echo, reply_trace: seen.clone() }));
         net.start();
-        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
-        while seen.load(Ordering::SeqCst) == 0 && std::time::Instant::now() < deadline {
-            std::thread::sleep(std::time::Duration::from_millis(5));
+        assert_poll(Duration::from_secs(5), "minted trace rides the reply", || {
+            seen.load(Ordering::SeqCst) == 0xABCD
+        });
+        net.shutdown();
+    }
+
+    #[test]
+    fn killed_node_is_deaf_until_revive_restarts_it() {
+        // A started node that replies to everything; kill gates it off,
+        // revive re-runs on_start (observable as a fresh timer arming).
+        let mut net = LiveNet::new();
+        let count = Arc::new(AtomicU64::new(0));
+        let starts = Arc::new(AtomicU64::new(0));
+        struct Startful(Arc<AtomicU64>, Arc<AtomicU64>);
+        impl Node for Startful {
+            fn on_start(&mut self, _: &mut dyn NetCtx) {
+                self.1.fetch_add(1, Ordering::SeqCst);
+            }
+            fn on_message(&mut self, _: &mut dyn NetCtx, _: Addr, _: Msg) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
         }
-        assert_eq!(seen.load(Ordering::SeqCst), 0xABCD);
+        let a = net.add_node(Box::new(Startful(count.clone(), starts.clone())));
+        net.start();
+        assert_poll(Duration::from_secs(5), "initial on_start ran", || {
+            starts.load(Ordering::SeqCst) == 1
+        });
+        net.kill(a);
+        net.inject(Addr(99), a, ServerMsg::CloseOk.into());
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(count.load(Ordering::SeqCst), 0, "down node hears nothing");
+        net.revive(a);
+        assert_poll(Duration::from_secs(5), "revive re-runs on_start", || {
+            starts.load(Ordering::SeqCst) == 2
+        });
+        net.inject(Addr(99), a, ServerMsg::CloseOk.into());
+        assert_poll(Duration::from_secs(5), "revived node hears again", || {
+            count.load(Ordering::SeqCst) == 1
+        });
         net.shutdown();
     }
 

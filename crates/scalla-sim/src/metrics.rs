@@ -24,6 +24,10 @@ pub struct EgressCounters {
     pub pool_hits: u64,
     /// Encode buffers that had to be freshly allocated.
     pub pool_misses: u64,
+    /// Alive→dead peer transitions detected by writer threads.
+    pub peer_deaths: u64,
+    /// Dead→alive peer transitions (successful backoff probes).
+    pub peer_reconnects: u64,
 }
 
 impl EgressCounters {
@@ -73,7 +77,7 @@ impl NetCounters {
     pub fn row(&self) -> String {
         format!(
             "frames={} writes={} frames/write={:.2} queue_drops={} conn_drops={} \
-             mailbox_drops={} pool_hit_rate={:.2}",
+             mailbox_drops={} pool_hit_rate={:.2} peer_deaths={} peer_reconnects={}",
             self.egress.frames,
             self.egress.writes,
             self.egress.frames_per_write(),
@@ -81,6 +85,8 @@ impl NetCounters {
             self.egress.conn_drops,
             self.total_mailbox_drops(),
             self.egress.pool_hit_rate(),
+            self.egress.peer_deaths,
+            self.egress.peer_reconnects,
         )
     }
 
@@ -96,6 +102,8 @@ impl NetCounters {
             ("scalla_egress_conn_drops_total", e.conn_drops),
             ("scalla_egress_pool_hits_total", e.pool_hits),
             ("scalla_egress_pool_misses_total", e.pool_misses),
+            ("scalla_egress_peer_deaths_total", e.peer_deaths),
+            ("scalla_egress_peer_reconnects_total", e.peer_reconnects),
             ("scalla_mailbox_drops_total", self.total_mailbox_drops()),
         ] {
             reg.counter(name, &[]).set(value);
@@ -234,6 +242,8 @@ mod tests {
                 conn_drops: 5,
                 pool_hits: 90,
                 pool_misses: 10,
+                peer_deaths: 2,
+                peer_reconnects: 2,
             },
         };
         assert_eq!(c.total_mailbox_drops(), 4);

@@ -20,7 +20,8 @@
 //! and surfaced through [`TcpNet::counters`].
 
 use crate::admin::AdminServer;
-use crate::egress::{EgressLink, EgressShared};
+use crate::chaos::{FaultGates, GateVerdict};
+use crate::egress::{EgressLink, EgressShared, EgressTuning};
 use crate::metrics::{EgressCounters, NetCounters};
 use bytes::BytesMut;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
@@ -36,7 +37,15 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 enum Envelope {
-    Deliver { from: Addr, msg: Msg, trace: u64 },
+    Deliver {
+        from: Addr,
+        msg: Msg,
+        trace: u64,
+    },
+    /// Re-runs the node's `on_start` after a chaos revive (timers are
+    /// cleared first — the node re-arms its own schedule, exactly as a
+    /// restarted process would).
+    Restart,
     Stop,
 }
 
@@ -58,6 +67,7 @@ struct TcpCtx<'a> {
     shared: &'a Arc<EgressShared>,
     timers: &'a mut BinaryHeap<std::cmp::Reverse<(Nanos, u64)>>,
     rng_state: &'a mut u64,
+    gates: &'a FaultGates,
     /// Ambient request trace id for this callback: seeded from the inbound
     /// frame's envelope and stamped onto every frame sent from it, so a
     /// trace follows the request across cmsd→supervisor→server hops
@@ -83,17 +93,26 @@ impl NetCtx for TcpCtx<'_> {
         self.me
     }
     fn send(&mut self, to: Addr, msg: Msg) {
+        // Chaos gate first: a crashed sender, crashed target, partitioned
+        // pair, or loss roll silently eats the message before encoding.
+        let copies = match self.gates.verdict(self.me, to) {
+            GateVerdict::Drop => return,
+            GateVerdict::Deliver => 1,
+            GateVerdict::Duplicate => 2,
+        };
         // Encode into a pooled buffer and queue it; the writer thread owns
         // every socket interaction. This path must never block.
-        let frame = encode_frame_traced_pooled(&msg, self.trace, &self.shared.pool);
         let shared = self.shared.clone();
-        match self.link(to) {
-            Some(link) => link.send(frame, &shared),
-            None => {
-                // Address outside the net: same silent-drop semantics as a
-                // dead peer, but accounted.
-                shared.stats.conn_drops.fetch_add(1, Ordering::Relaxed);
-                shared.pool.put(frame);
+        for _ in 0..copies {
+            let frame = encode_frame_traced_pooled(&msg, self.trace, &self.shared.pool);
+            match self.link(to) {
+                Some(link) => link.send(frame, &shared),
+                None => {
+                    // Address outside the net: same silent-drop semantics
+                    // as a dead peer, but accounted.
+                    shared.stats.conn_drops.fetch_add(1, Ordering::Relaxed);
+                    shared.pool.put(frame);
+                }
             }
         }
     }
@@ -131,6 +150,7 @@ pub struct TcpNet {
     stop: Arc<AtomicBool>,
     started: bool,
     admin: Option<AdminServer>,
+    gates: FaultGates,
 }
 
 impl TcpNet {
@@ -150,7 +170,48 @@ impl TcpNet {
             stop,
             started: false,
             admin: None,
+            gates: FaultGates::new(0),
         })
+    }
+
+    /// The chaos gates governing this net's message flow. Cloning shares
+    /// state, so a harness can drive faults while the net runs.
+    pub fn gates(&self) -> FaultGates {
+        self.gates.clone()
+    }
+
+    /// Replaces the chaos gates (call before [`TcpNet::start`] to pick a
+    /// fault seed).
+    pub fn set_gates(&mut self, gates: FaultGates) {
+        assert!(!self.started, "set_gates before start");
+        self.gates = gates;
+    }
+
+    /// Overrides the egress writer timeouts and dead-peer probe schedule.
+    pub fn set_egress_tuning(&self, tuning: EgressTuning) {
+        *self.shared.tuning.write() = tuning;
+    }
+
+    /// Attaches an observability handle: egress writers report
+    /// `peer_dead` / `peer_reconnected` recovery events through it.
+    /// ([`TcpNet::serve_admin`] attaches its handle automatically.)
+    pub fn set_obs(&self, obs: Obs) {
+        *self.shared.obs.write() = obs;
+    }
+
+    /// Gates a node down: its inbound and outbound messages drop until
+    /// [`TcpNet::revive`]. The OS process and threads stay up — this
+    /// models the *peer-visible* effect of a crash.
+    pub fn kill(&self, addr: Addr) {
+        self.gates.kill(addr);
+    }
+
+    /// Clears the down gate and restarts the node's state machine
+    /// (`on_start` re-runs on its protocol thread; pending timers are
+    /// discarded first).
+    pub fn revive(&self, addr: Addr) {
+        self.gates.revive(addr);
+        let _ = self.mailboxes[addr.0 as usize].try_send(Envelope::Restart);
     }
 
     /// The shared clock.
@@ -209,6 +270,7 @@ impl TcpNet {
     pub fn serve_admin(&mut self, obs: Obs) -> std::io::Result<SocketAddr> {
         assert!(obs.is_enabled(), "serve_admin needs an enabled Obs handle");
         assert!(self.admin.is_none(), "serve_admin once per net");
+        self.set_obs(obs.clone());
         let shared = self.shared.clone();
         let drops: Vec<Arc<AtomicU64>> = self.mailbox_drops.clone();
         obs.registry().add_collector(Box::new(move |reg| {
@@ -222,6 +284,8 @@ impl TcpNet {
                     conn_drops: stats.conn_drops.load(Ordering::Relaxed),
                     pool_hits: shared.pool.hits(),
                     pool_misses: shared.pool.misses(),
+                    peer_deaths: stats.peer_deaths.load(Ordering::Relaxed),
+                    peer_reconnects: stats.peer_reconnects.load(Ordering::Relaxed),
                 },
             };
             counters.export_into(reg);
@@ -244,6 +308,8 @@ impl TcpNet {
                 conn_drops: stats.conn_drops.load(Ordering::Relaxed),
                 pool_hits: self.shared.pool.hits(),
                 pool_misses: self.shared.pool.misses(),
+                peer_deaths: stats.peer_deaths.load(Ordering::Relaxed),
+                peer_reconnects: stats.peer_reconnects.load(Ordering::Relaxed),
             },
         }
     }
@@ -266,6 +332,7 @@ impl TcpNet {
             let drops = self.mailbox_drops[i].clone();
             let inbound = self.inbound.clone();
             let shared = self.shared.clone();
+            let gates = self.gates.clone();
 
             // Acceptor: blocking accept, one reader thread per inbound
             // connection decoding frames into the node's mailbox. Woken at
@@ -318,6 +385,7 @@ impl TcpNet {
                             shared: &shared,
                             timers: &mut timers,
                             rng_state: &mut rng_state,
+                            gates: &gates,
                             trace: 0,
                         };
                         node.on_start(&mut ctx);
@@ -334,6 +402,9 @@ impl TcpNet {
                             }
                         }
                         for token in due {
+                            if gates.is_down(me) {
+                                continue; // a crashed node's timers don't fire
+                            }
                             let mut ctx = TcpCtx {
                                 me,
                                 clock: &clock,
@@ -342,6 +413,7 @@ impl TcpNet {
                                 shared: &shared,
                                 timers: &mut timers,
                                 rng_state: &mut rng_state,
+                                gates: &gates,
                                 trace: 0,
                             };
                             node.on_timer(&mut ctx, token);
@@ -354,6 +426,9 @@ impl TcpNet {
                             .unwrap_or(std::time::Duration::from_millis(50));
                         match rx.recv_timeout(wait) {
                             Ok(Envelope::Deliver { from, msg, trace }) => {
+                                if gates.is_down(me) {
+                                    continue; // a crashed node hears nothing
+                                }
                                 let mut ctx = TcpCtx {
                                     me,
                                     clock: &clock,
@@ -362,9 +437,25 @@ impl TcpNet {
                                     shared: &shared,
                                     timers: &mut timers,
                                     rng_state: &mut rng_state,
+                                    gates: &gates,
                                     trace,
                                 };
                                 node.on_message(&mut ctx, from, msg);
+                            }
+                            Ok(Envelope::Restart) => {
+                                timers.clear();
+                                let mut ctx = TcpCtx {
+                                    me,
+                                    clock: &clock,
+                                    peers: &peers,
+                                    links: &mut links,
+                                    shared: &shared,
+                                    timers: &mut timers,
+                                    rng_state: &mut rng_state,
+                                    gates: &gates,
+                                    trace: 0,
+                                };
+                                node.on_start(&mut ctx);
                             }
                             Ok(Envelope::Stop) => break,
                             Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
@@ -482,8 +573,10 @@ fn reader_loop(mut stream: TcpStream, mailbox: Sender<Envelope>, drops: Arc<Atom
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chaos::assert_poll;
     use scalla_proto::{ClientMsg, ServerMsg};
     use std::sync::atomic::AtomicU64;
+    use std::time::Duration;
 
     struct Echo;
     impl Node for Echo {
@@ -518,11 +611,9 @@ mod tests {
         let _echo = net.add_node(Box::new(Echo)).unwrap();
         let _counter = net.add_node(Box::new(Counter(count.clone()))).unwrap();
         net.start();
-        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
-        while count.load(Ordering::SeqCst) == 0 && std::time::Instant::now() < deadline {
-            std::thread::sleep(std::time::Duration::from_millis(10));
-        }
-        assert_eq!(count.load(Ordering::SeqCst), 1, "echo round trip over TCP");
+        assert_poll(Duration::from_secs(10), "echo round trip over TCP", || {
+            count.load(Ordering::SeqCst) == 1
+        });
         let counters = net.counters();
         assert!(counters.egress.frames >= 2, "request + reply crossed the wire");
         assert_eq!(counters.total_mailbox_drops(), 0);
@@ -543,11 +634,9 @@ mod tests {
         let sink = net.add_node(Box::new(Sink(count.clone()))).unwrap();
         net.start();
         net.inject(Addr(9999), sink, ServerMsg::CloseOk.into()).unwrap();
-        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
-        while count.load(Ordering::SeqCst) == 0 && std::time::Instant::now() < deadline {
-            std::thread::sleep(std::time::Duration::from_millis(10));
-        }
-        assert_eq!(count.load(Ordering::SeqCst), 1);
+        assert_poll(Duration::from_secs(10), "injected frame reaches node", || {
+            count.load(Ordering::SeqCst) == 1
+        });
         net.shutdown();
     }
 
@@ -558,10 +647,9 @@ mod tests {
         let _echo = net.add_node(Box::new(Echo)).unwrap();
         let _counter = net.add_node(Box::new(Counter(count.clone()))).unwrap();
         net.start();
-        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
-        while count.load(Ordering::SeqCst) == 0 && std::time::Instant::now() < deadline {
-            std::thread::sleep(std::time::Duration::from_millis(5));
-        }
+        assert_poll(Duration::from_secs(10), "round trip before shutdown", || {
+            count.load(Ordering::SeqCst) == 1
+        });
         let t0 = std::time::Instant::now();
         net.shutdown();
         assert!(
@@ -583,11 +671,9 @@ mod tests {
         assert_eq!(hole, Addr(1));
         assert_eq!(counter, Addr(2));
         net.start();
-        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
-        while count.load(Ordering::SeqCst) == 0 && std::time::Instant::now() < deadline {
-            std::thread::sleep(std::time::Duration::from_millis(5));
-        }
-        assert_eq!(count.load(Ordering::SeqCst), 1);
+        assert_poll(Duration::from_secs(10), "round trip past the external slot", || {
+            count.load(Ordering::SeqCst) == 1
+        });
         let nodes = net.shutdown();
         assert_eq!(nodes.len(), 3, "external slot yields a placeholder");
     }

@@ -111,10 +111,12 @@ impl Ord for Event {
 pub struct SimStats {
     /// Messages delivered to live nodes.
     pub delivered: u64,
-    /// Messages dropped (dead endpoint or injected loss).
+    /// Messages dropped (dead endpoint, partition, or injected loss).
     pub dropped: u64,
     /// Timer firings.
     pub timers: u64,
+    /// Extra copies enqueued by duplication injection.
+    pub duplicated: u64,
 }
 
 /// Collected effects of one handler invocation. Each send carries the
@@ -168,7 +170,15 @@ pub struct SimNet {
     default_latency: LatencyModel,
     links: HashMap<(Addr, Addr), LatencyModel>,
     down: HashSet<Addr>,
+    /// Directed pairs whose traffic is blackholed (bidirectional partitions
+    /// insert both orientations).
+    blocked: HashSet<(Addr, Addr)>,
     loss_permille: u16,
+    dup_permille: u16,
+    /// Extra uniform per-message delay in `[0, reorder_jitter)`; two
+    /// messages on the same link may overtake each other once this exceeds
+    /// their spacing.
+    reorder_jitter: Nanos,
     rng: SplitMix64,
     stats: SimStats,
 }
@@ -184,7 +194,10 @@ impl SimNet {
             default_latency,
             links: HashMap::new(),
             down: HashSet::new(),
+            blocked: HashSet::new(),
             loss_permille: 0,
+            dup_permille: 0,
+            reorder_jitter: Nanos::ZERO,
             rng: SplitMix64::new(seed),
             stats: SimStats::default(),
         }
@@ -229,9 +242,44 @@ impl SimNet {
         self.links.insert((b, a), model);
     }
 
+    /// Removes a per-link latency override, restoring the default model.
+    pub fn clear_link(&mut self, a: Addr, b: Addr) {
+        self.links.remove(&(a, b));
+        self.links.remove(&(b, a));
+    }
+
     /// Sets a global message loss rate in permille (0–1000).
     pub fn set_loss_permille(&mut self, permille: u16) {
         self.loss_permille = permille.min(1000);
+    }
+
+    /// Sets a global duplication rate in permille (0–1000): each affected
+    /// message is delivered twice, the copy with an independently sampled
+    /// latency (so duplicates may arrive out of order).
+    pub fn set_dup_permille(&mut self, permille: u16) {
+        self.dup_permille = permille.min(1000);
+    }
+
+    /// Sets a bounded reordering knob: every message gets an extra uniform
+    /// delay in `[0, jitter)` on top of its link latency, so back-to-back
+    /// messages can overtake each other. `Nanos::ZERO` disables it (FIFO
+    /// per link is then preserved by the event-sequence tiebreak).
+    pub fn set_reorder_jitter(&mut self, jitter: Nanos) {
+        self.reorder_jitter = jitter;
+    }
+
+    /// Installs a bidirectional partition: traffic between `a` and `b` is
+    /// dropped (and counted) in both directions. Messages already in
+    /// flight still arrive — they left the NIC before the cut.
+    pub fn partition(&mut self, a: Addr, b: Addr) {
+        self.blocked.insert((a, b));
+        self.blocked.insert((b, a));
+    }
+
+    /// Heals a partition installed with [`SimNet::partition`].
+    pub fn heal(&mut self, a: Addr, b: Addr) {
+        self.blocked.remove(&(a, b));
+        self.blocked.remove(&(b, a));
     }
 
     /// Takes a node down: all queued and future messages to it are dropped,
@@ -260,13 +308,30 @@ impl SimNet {
 
     fn latency_between(&mut self, from: Addr, to: Addr) -> Nanos {
         let model = self.links.get(&(from, to)).copied().unwrap_or(self.default_latency);
-        model.sample(&mut self.rng)
+        let base = model.sample(&mut self.rng);
+        if self.reorder_jitter.0 == 0 {
+            base
+        } else {
+            base + Nanos(self.rng.next_below(self.reorder_jitter.0))
+        }
     }
 
     fn queue_send(&mut self, from: Addr, to: Addr, msg: Msg, trace: u64) {
+        if self.blocked.contains(&(from, to)) {
+            self.stats.dropped += 1;
+            return;
+        }
         if self.loss_permille > 0 && self.rng.next_below(1000) < self.loss_permille as u64 {
             self.stats.dropped += 1;
             return;
+        }
+        if self.dup_permille > 0 && self.rng.next_below(1000) < self.dup_permille as u64 {
+            // At-least-once delivery: the copy samples its own latency, so
+            // it can land before or after the original.
+            self.stats.duplicated += 1;
+            let at = self.clock.now() + self.latency_between(from, to);
+            let kind = EventKind::Deliver { from, msg: msg.clone(), trace };
+            self.push_event(Event { at, seq: 0, to, kind });
         }
         let at = self.clock.now() + self.latency_between(from, to);
         self.push_event(Event { at, seq: 0, to, kind: EventKind::Deliver { from, msg, trace } });
@@ -532,6 +597,81 @@ mod tests {
         net.run_until(Nanos::from_secs(1));
         let delivered = count.load(Ordering::SeqCst);
         assert!((350..=650).contains(&delivered), "delivered={delivered}");
+    }
+
+    #[test]
+    fn partition_blocks_both_directions_until_healed() {
+        let mut net = SimNet::new(LatencyModel::fixed(Nanos::from_micros(1)), 5);
+        let count = Arc::new(AtomicU64::new(0));
+        let sink = net.add_node(Box::new(Sink(count.clone(), Vec::new())));
+        let echo = net.add_node(Box::new(Echo));
+        net.start();
+        net.partition(sink, echo);
+        net.inject(sink, echo, open());
+        net.inject(echo, sink, ServerMsg::CloseOk.into());
+        net.run_for(Nanos::from_millis(1));
+        assert_eq!(count.load(Ordering::SeqCst), 0, "partition cuts both ways");
+        assert_eq!(net.stats().dropped, 2);
+        net.heal(sink, echo);
+        net.inject(echo, sink, ServerMsg::CloseOk.into());
+        net.run_for(Nanos::from_millis(1));
+        assert_eq!(count.load(Ordering::SeqCst), 1, "healed link delivers");
+    }
+
+    #[test]
+    fn dup_permille_delivers_extra_copies() {
+        let mut net = SimNet::new(LatencyModel::fixed(Nanos::from_micros(1)), 9);
+        let count = Arc::new(AtomicU64::new(0));
+        let sink = net.add_node(Box::new(Sink(count.clone(), Vec::new())));
+        net.start();
+        net.set_dup_permille(1000);
+        for _ in 0..100 {
+            net.inject(Addr(99), sink, open());
+        }
+        net.run_until(Nanos::from_secs(1));
+        assert_eq!(count.load(Ordering::SeqCst), 200, "every message duplicated");
+        assert_eq!(net.stats().duplicated, 100);
+    }
+
+    #[test]
+    fn reorder_jitter_lets_messages_overtake() {
+        struct OrderSink(Arc<std::sync::Mutex<Vec<String>>>);
+        impl Node for OrderSink {
+            fn on_message(&mut self, _: &mut dyn NetCtx, _: Addr, msg: Msg) {
+                if let Msg::Client(ClientMsg::Open { path, .. }) = msg {
+                    self.0.lock().unwrap().push(path);
+                }
+            }
+        }
+        let run = |jitter: Nanos| {
+            let order = Arc::new(std::sync::Mutex::new(Vec::new()));
+            let mut net = SimNet::new(LatencyModel::fixed(Nanos::from_micros(5)), 13);
+            let sink = net.add_node(Box::new(OrderSink(order.clone())));
+            net.start();
+            net.set_reorder_jitter(jitter);
+            for i in 0..50 {
+                let msg = ClientMsg::Open {
+                    path: format!("/m{i:02}"),
+                    write: false,
+                    refresh: false,
+                    avoid: None,
+                };
+                net.inject(Addr(99), sink, msg.into());
+            }
+            net.run_until(Nanos::from_secs(1));
+            let got = order.lock().unwrap().clone();
+            got
+        };
+        let fifo = run(Nanos::ZERO);
+        let mut sorted = fifo.clone();
+        sorted.sort();
+        assert_eq!(fifo, sorted, "no jitter: FIFO preserved by seq tiebreak");
+        let jittered = run(Nanos::from_millis(1));
+        assert_eq!(jittered.len(), 50, "reordering never loses messages");
+        let mut resorted = jittered.clone();
+        resorted.sort();
+        assert_ne!(jittered, resorted, "1 ms jitter over 0-latency spacing reorders");
+        assert_eq!(resorted, sorted, "same multiset either way");
     }
 
     #[test]

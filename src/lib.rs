@@ -64,7 +64,9 @@ pub mod prelude {
     pub use scalla_node::{CmsdConfig, CmsdNode, CnsNode, ServerConfig, ServerNode};
     pub use scalla_obs::{Obs, TraceId};
     pub use scalla_proto::{Addr, ClientMsg, CmsMsg, Msg, ServerMsg};
-    pub use scalla_sim::{ClusterConfig, SimCluster};
+    pub use scalla_sim::{
+        ChaosProfile, ChaosScheduler, ClusterConfig, Fault, FaultPlan, SimCluster,
+    };
     pub use scalla_simnet::{LatencyModel, NetCtx, Node, SimNet};
     pub use scalla_util::{Nanos, ServerId, ServerSet};
 }

@@ -23,7 +23,7 @@ fn workload_survives_message_loss() {
     let client = c.add_client_with(|cc| {
         cc.ops = ops.clone();
         cc.request_timeout = Nanos::from_secs(2);
-        cc.max_waits = 50;
+        cc.retry.max_waits = 50;
     });
     c.start_node(client);
     c.net.run_for(Nanos::from_secs(600));

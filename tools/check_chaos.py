@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Validates BENCH_chaos.json, written by `cargo run --example chaos_run`.
+
+Checks the schema and the chaos-soak acceptance conditions: every plan
+covered all three fault profiles, every scripted op terminated, the
+structural invariant was never violated, and every `peer_dead` recovery
+event was paired with a `peer_reconnected` once the fault plan healed.
+
+Usage: python3 tools/check_chaos.py BENCH_chaos.json [--smoke]
+
+--smoke only relaxes the expected plan count (one seed per profile);
+the correctness conditions are identical in both modes.
+"""
+import json
+import sys
+
+NUM = (int, float)
+
+PLAN_KEYS = {
+    "profile": str,
+    "seed": int,
+    "ops_total": int,
+    "ops_terminated": int,
+    "invariant_checked": int,
+    "invariant_violations": int,
+    "peer_dead": int,
+    "peer_reconnected": int,
+    "recovery_ms": dict,
+}
+
+RECOVERY_KEYS = {"samples": int, "p50": NUM, "p95": NUM, "max": NUM}
+
+PROFILES = {"crash_restart", "partition_heal", "loss_burst"}
+
+
+def fail(msg: str) -> None:
+    sys.exit(f"check_chaos: FAIL: {msg}")
+
+
+def check_keys(obj: dict, spec: dict, where: str) -> None:
+    for key, typ in spec.items():
+        if key not in obj:
+            fail(f"{where}: missing key {key!r}")
+        if not isinstance(obj[key], typ):
+            fail(f"{where}.{key}: expected {typ}, got {type(obj[key]).__name__}")
+
+
+def check_recovery(rec: dict, where: str) -> None:
+    check_keys(rec, RECOVERY_KEYS, where)
+    if rec["samples"] < 0:
+        fail(f"{where}: negative sample count")
+    if rec["samples"] == 0:
+        if any(rec[k] != 0 for k in ("p50", "p95", "max")):
+            fail(f"{where}: nonzero percentiles with zero samples")
+    elif not 0 < rec["p50"] <= rec["p95"] <= rec["max"]:
+        fail(f"{where}: percentiles out of order: {rec}")
+
+
+def main() -> None:
+    args = [a for a in sys.argv[1:] if a != "--smoke"]
+    smoke = "--smoke" in sys.argv[1:]
+    if len(args) != 1:
+        fail("usage: check_chaos.py BENCH_chaos.json [--smoke]")
+    with open(args[0]) as f:
+        doc = json.load(f)
+
+    check_keys(
+        doc,
+        {"bench": str, "mode": str, "all_terminated": bool, "recovery_ms": dict, "plans": list},
+        "top",
+    )
+    if doc["bench"] != "chaos":
+        fail(f"bench is {doc['bench']!r}")
+    if doc["mode"] not in ("smoke", "full"):
+        fail(f"mode is {doc['mode']!r}")
+    if not doc["all_terminated"]:
+        fail("a chaos plan left client ops unterminated")
+    check_recovery(doc["recovery_ms"], "top.recovery_ms")
+
+    expect_plans = len(PROFILES) * (1 if smoke else 3)
+    if len(doc["plans"]) != expect_plans:
+        fail(f"expected {expect_plans} plans, got {len(doc['plans'])}")
+    seen = set()
+    detected = 0
+    for i, plan in enumerate(doc["plans"]):
+        where = f"plans[{i}]"
+        check_keys(plan, PLAN_KEYS, where)
+        if plan["profile"] not in PROFILES:
+            fail(f"{where}: unknown profile {plan['profile']!r}")
+        seen.add(plan["profile"])
+        if plan["ops_terminated"] != plan["ops_total"]:
+            fail(
+                f"{where} ({plan['profile']}/{plan['seed']}): only"
+                f" {plan['ops_terminated']}/{plan['ops_total']} ops terminated"
+            )
+        if plan["invariant_checked"] < 1:
+            fail(f"{where}: no cache entries audited")
+        if plan["invariant_violations"] != 0:
+            fail(
+                f"{where} ({plan['profile']}/{plan['seed']}):"
+                f" {plan['invariant_violations']} invariant violations"
+            )
+        if plan["peer_dead"] != plan["peer_reconnected"]:
+            fail(
+                f"{where} ({plan['profile']}/{plan['seed']}): unpaired recovery"
+                f" events, {plan['peer_dead']} dead vs"
+                f" {plan['peer_reconnected']} reconnected"
+            )
+        detected += plan["peer_dead"]
+        check_recovery(plan["recovery_ms"], f"{where}.recovery_ms")
+    if seen != PROFILES:
+        fail(f"profiles missing from the sweep: {sorted(PROFILES - seen)}")
+    if detected < 1:
+        fail("no plan exercised the death/reconnect path")
+    if doc["recovery_ms"]["samples"] < 1:
+        fail("no recovery windows were measured")
+
+    rec = doc["recovery_ms"]
+    print(
+        f"check_chaos: OK ({doc['mode']}): {len(doc['plans'])} plans, all ops"
+        f" terminated, 0 invariant violations, {detected} death/reconnect"
+        f" pairs, recovery p50 {rec['p50']:.0f} ms / p95 {rec['p95']:.0f} ms"
+        f" over {rec['samples']} windows"
+    )
+
+
+if __name__ == "__main__":
+    main()
