@@ -519,6 +519,7 @@ impl Node for ClientNode {
             // Stale response: an abandoned target, a finished op (duplicate
             // delivery of the reply that completed it), or a reply landing
             // inside a sleep/think gap when nothing is outstanding.
+            self.obs.count("scalla_client_discards_total", &[("kind", "stale_reply")], 1);
             return;
         }
         let Msg::Server(reply) = msg else { return };
@@ -611,7 +612,9 @@ impl Node for ClientNode {
             tok::NEXT_OP => self.begin_op(ctx),
             tok::RETRY => {
                 if self.phase == Phase::Idle {
-                    return; // the op finished while this retry was pending
+                    // The op finished while this retry was pending.
+                    self.obs.count("scalla_client_discards_total", &[("kind", "stale_retry")], 1);
+                    return;
                 }
                 if let Some(msg) = self.last_request.clone() {
                     let target = self.target;
@@ -620,7 +623,9 @@ impl Node for ClientNode {
             }
             t if t >= tok::TIMEOUT_BASE => {
                 if t - tok::TIMEOUT_BASE != self.timeout_gen || self.phase == Phase::Idle {
-                    return; // superseded timeout, or nothing outstanding
+                    // Superseded timeout, or nothing outstanding.
+                    self.obs.count("scalla_client_discards_total", &[("kind", "stale_timeout")], 1);
+                    return;
                 }
                 // The target stopped answering. Fail over to the next
                 // manager and restart the walk from the top. The budget is
@@ -902,5 +907,43 @@ mod tests {
         let results = node.downcast_ref::<ClientNode>().unwrap().results();
         assert_eq!(results[0].outcome, OpOutcome::Ok, "failover must succeed");
         assert!(results[0].latency() >= Nanos::from_secs(1), "paid the timeout");
+    }
+
+    #[test]
+    fn phase_guard_discards_are_counted() {
+        struct NullCtx;
+        impl NetCtx for NullCtx {
+            fn now(&self) -> Nanos {
+                Nanos::ZERO
+            }
+            fn me(&self) -> Addr {
+                Addr(9)
+            }
+            fn send(&mut self, _: Addr, _: Msg) {}
+            fn set_timer(&mut self, _: Nanos, _: u64) {}
+            fn rand_u64(&mut self) -> u64 {
+                7
+            }
+        }
+        let obs = Obs::enabled();
+        let dir = Arc::new(Directory::new());
+        let mut node = ClientNode::new(ClientConfig::new(
+            Addr(0),
+            dir,
+            vec![ClientOp::Sleep { duration: Nanos::from_secs(1) }],
+        ));
+        node.set_obs(obs.clone());
+        let mut ctx = NullCtx;
+        // The sleep op leaves the client alive but Idle, so every arrival
+        // below hits a phase guard.
+        node.on_start(&mut ctx);
+        node.on_message(&mut ctx, Addr(5), ServerMsg::CloseOk.into());
+        node.on_timer(&mut ctx, tok::RETRY);
+        node.on_timer(&mut ctx, tok::TIMEOUT_BASE + 99);
+        let text = obs.registry().prometheus_text();
+        for kind in ["stale_reply", "stale_retry", "stale_timeout"] {
+            let needle = format!("scalla_client_discards_total{{kind=\"{kind}\"}} 1");
+            assert!(text.contains(&needle), "missing {needle} in:\n{text}");
+        }
     }
 }

@@ -52,7 +52,7 @@ impl LocalFs {
     /// Seeds an online file with `size` zero bytes of content.
     pub fn put_online(&mut self, path: &str, size: u64) {
         self.used += size;
-        self.files.insert(
+        let prev = self.files.insert(
             path.to_string(),
             FileEntry {
                 data: Bytes::from(vec![0u8; size as usize]),
@@ -61,14 +61,27 @@ impl LocalFs {
                 staging: false,
             },
         );
+        self.release(prev);
     }
 
     /// Seeds an MSS-resident (offline) file: locatable, not yet servable.
     pub fn put_offline(&mut self, path: &str, size: u64) {
-        self.files.insert(
+        let prev = self.files.insert(
             path.to_string(),
             FileEntry { data: Bytes::new(), size, online: false, staging: false },
         );
+        self.release(prev);
+    }
+
+    /// Releases the space accounted to a replaced entry. Only online
+    /// entries hold bytes: offline (MSS-resident) files are charged when
+    /// staging completes, never before.
+    fn release(&mut self, prev: Option<FileEntry>) {
+        if let Some(e) = prev {
+            if e.online {
+                self.used = self.used.saturating_sub(e.size);
+            }
+        }
     }
 
     /// Looks a file up.
@@ -95,7 +108,7 @@ impl LocalFs {
     /// stale-redirect / refresh recovery path (§III-C1).
     pub fn remove(&mut self, path: &str) -> bool {
         if let Some(e) = self.files.remove(path) {
-            self.used = self.used.saturating_sub(e.size);
+            self.release(Some(e));
             true
         } else {
             false
@@ -176,6 +189,31 @@ mod tests {
         assert!(fs.complete_staging("/mss/f"));
         assert_eq!(fs.read("/mss/f", 0, 10).unwrap().len(), 10);
         assert!(!fs.complete_staging("/mss/f"), "already online");
+    }
+
+    #[test]
+    fn overwrite_releases_replaced_space() {
+        let mut fs = LocalFs::new(1000);
+        // Same-path re-seed must not double-count.
+        fs.put_online("/f", 600);
+        fs.put_online("/f", 400);
+        assert_eq!(fs.free_bytes(), 600, "old online bytes released");
+        // Demoting to MSS-resident releases the online bytes entirely.
+        fs.put_offline("/f", 400);
+        assert_eq!(fs.free_bytes(), 1000);
+        // Offline entries were never charged, so neither overwriting nor
+        // removing them may release anything.
+        fs.put_online("/g", 300);
+        fs.put_offline("/h", 999);
+        fs.put_offline("/h", 500);
+        assert!(fs.remove("/h"));
+        assert_eq!(fs.free_bytes(), 700, "only /g is charged");
+        // Staging completion charges, and removal releases, symmetrically.
+        fs.put_offline("/i", 200);
+        assert!(fs.complete_staging("/i"));
+        assert_eq!(fs.free_bytes(), 500);
+        assert!(fs.remove("/i"));
+        assert_eq!(fs.free_bytes(), 700);
     }
 
     #[test]

@@ -1,0 +1,1214 @@
+//! The proxy data-server state machine (§II-B6 deployment model).
+//!
+//! A [`ProxyNode`] sits between clients and the cluster. Toward its
+//! parent cmsd it looks exactly like a data server: it logs in with
+//! `role: Server`, heartbeats load reports, and answers `Locate`
+//! positively (and only positively) for files it has *fully* cached —
+//! so the ordinary V_h machinery redirects other clients to the proxy
+//! with no new protocol. Toward clients it speaks the normal
+//! `Open`/`Read`/`Close` data path, serving reads from the sharded
+//! [`BlockStore`] and fetching missing blocks from the owning data
+//! server on demand (resolve via the origin redirector, open, stat,
+//! block reads).
+//!
+//! ## Origin-side correlation
+//!
+//! `ServerMsg` replies carry no correlation ids, so the proxy keeps a
+//! strict window of **one outstanding request per remote address** and
+//! matches replies positionally: each remote gets a [`Link`] with a
+//! FIFO queue, and the head request is retired by whatever reply (or
+//! timeout) arrives next. This is reorder-safe on all three runtimes;
+//! its one blind spot — duplicated frames desynchronising the position
+//! — is called out in DESIGN.md (real xrootd carries stream ids).
+//!
+//! ## Failure handling
+//!
+//! Origin errors and timeouts run the client's §III-C1 recovery on the
+//! proxy's behalf: re-resolve with `refresh: true` and `avoid` naming
+//! the failing host, bounded by `max_refreshes`. A fully-cached file
+//! needs no origin at all, which is what lets the proxy keep serving
+//! after the origin dies.
+
+use crate::store::{BlockKey, BlockStore, PcacheConfig, PinOutcome};
+use bytes::Bytes;
+use scalla_client::Directory;
+use scalla_obs::{AtomicHistogram, Counter, Obs};
+use scalla_proto::{Addr, ClientMsg, CmsMsg, ErrCode, Msg, NodeRoleTag, ServerMsg};
+use scalla_simnet::{NetCtx, Node};
+use scalla_util::{crc32, Nanos};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+/// Timer tokens used by the proxy.
+pub mod tokens {
+    /// Upward load report.
+    pub const HEARTBEAT: u64 = 1;
+    /// Origin-request timeouts use `TIMEOUT_BASE + gen`.
+    pub const TIMEOUT_BASE: u64 = 1 << 40;
+    /// Wait/Retry-parked requests use `RETRY_BASE + id`.
+    pub const RETRY_BASE: u64 = 1 << 41;
+}
+
+/// Proxy node configuration.
+#[derive(Clone)]
+pub struct ProxyConfig {
+    /// Host name used in logins, redirects, and metric labels.
+    pub name: String,
+    /// Parent cmsd address(es) the proxy joins (and advertises to).
+    pub parents: Vec<Addr>,
+    /// Redirector(s) the proxy resolves cache misses through. Often the
+    /// same addresses as `parents`, but kept separate so a proxy can
+    /// front a foreign administrative domain (§II-B6).
+    pub origin_managers: Vec<Addr>,
+    /// Host-name directory for following redirects.
+    pub directory: Arc<Directory>,
+    /// Exported path prefixes declared at login.
+    pub exports: Vec<String>,
+    /// Block-cache tuning.
+    pub cache: PcacheConfig,
+    /// Period between upward load reports.
+    pub heartbeat: Nanos,
+    /// Per-request origin timeout before recovery kicks in.
+    pub request_timeout: Nanos,
+    /// Refresh-recovery attempts per file before giving up (§III-C1).
+    pub max_refreshes: u32,
+    /// Wait/Retry hints honoured per file before giving up.
+    pub max_waits: u32,
+}
+
+impl ProxyConfig {
+    /// A proxy named `name` under `parent`, resolving misses through the
+    /// same cmsd, exporting `/`.
+    pub fn new(name: impl Into<String>, parent: Addr, directory: Arc<Directory>) -> ProxyConfig {
+        ProxyConfig {
+            name: name.into(),
+            parents: vec![parent],
+            origin_managers: vec![parent],
+            directory,
+            exports: vec!["/".to_string()],
+            cache: PcacheConfig::default(),
+            heartbeat: Nanos::from_secs(1),
+            request_timeout: Nanos::from_secs(2),
+            max_refreshes: 3,
+            max_waits: 8,
+        }
+    }
+}
+
+/// What an origin-side request is for (drives reply interpretation).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ReqKind {
+    /// Open at a redirector or data server (follows redirects).
+    Resolve,
+    /// Stat at the origin server to learn the file size.
+    Stat,
+    /// Block fetch (`Read`) of the given block index.
+    Fill { index: u64 },
+    /// Courtesy close of the origin handle once fully cached.
+    CloseOrigin,
+}
+
+/// One queued origin-side request.
+struct OriginReq {
+    to: Addr,
+    path: String,
+    kind: ReqKind,
+    msg: Msg,
+}
+
+/// Per-remote send window: one outstanding request, FIFO backlog.
+#[derive(Default)]
+struct Link {
+    outstanding: Option<(u64, OriginReq)>,
+    queue: VecDeque<OriginReq>,
+}
+
+/// Where a file is in its origin lifecycle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+enum OriginPhase {
+    /// No origin interaction in flight (fresh, or fully cached).
+    #[default]
+    Idle,
+    /// Resolving the owning server through the redirector.
+    Resolving,
+    /// Origin open; statting for the file size.
+    Statting,
+    /// Origin handle live; fills may be issued.
+    Ready,
+}
+
+/// An in-flight (pinned) block fill.
+struct Fill {
+    started: Nanos,
+    /// Whether the origin `Read` has actually been queued; cleared on
+    /// recovery so re-resolution re-issues the fetch.
+    requested: bool,
+}
+
+/// A client read waiting on one or more fills.
+struct PendingRead {
+    client: Addr,
+    start: u64,
+    end: u64,
+    missing: HashSet<u64>,
+    /// Bytes of this read that had to come from the origin (the rest
+    /// were already cached when the read arrived).
+    origin_bytes: u64,
+}
+
+/// Everything the proxy knows about one path.
+#[derive(Default)]
+struct FileState {
+    size: Option<u64>,
+    origin: Option<Addr>,
+    origin_handle: u64,
+    phase: OriginPhase,
+    refreshes: u32,
+    waits: u32,
+    /// Fully cached and announced upward via `Have{reqid: 0}`.
+    advertised: bool,
+    avoid: Option<String>,
+    open_waiters: Vec<Addr>,
+    fills: HashMap<u64, Fill>,
+    reads: Vec<PendingRead>,
+    open_handles: u32,
+}
+
+struct ProxyMetrics {
+    bytes_cache: Arc<Counter>,
+    bytes_origin: Arc<Counter>,
+    fetches: Arc<Counter>,
+    fill_ns: Arc<AtomicHistogram>,
+    advertised: Arc<Counter>,
+    stale_replies: Arc<Counter>,
+}
+
+/// The block-caching proxy node.
+pub struct ProxyNode {
+    cfg: ProxyConfig,
+    store: Arc<BlockStore>,
+    files: HashMap<String, FileState>,
+    /// Client-facing handles → path.
+    handles: HashMap<u64, String>,
+    next_handle: u64,
+    links: HashMap<Addr, Link>,
+    /// Outstanding-request gen → remote address, for timeout routing.
+    gen_to_addr: HashMap<u64, Addr>,
+    /// Wait/Retry-parked requests by retry id.
+    parked: HashMap<u64, OriginReq>,
+    next_gen: u64,
+    /// Rotates through `origin_managers` on manager timeouts.
+    mgr_idx: usize,
+    obs: Obs,
+    m: Option<ProxyMetrics>,
+}
+
+impl ProxyNode {
+    /// Creates a proxy with an empty cache.
+    pub fn new(cfg: ProxyConfig) -> ProxyNode {
+        let store = Arc::new(BlockStore::new(cfg.cache.clone()));
+        ProxyNode {
+            cfg,
+            store,
+            files: HashMap::new(),
+            handles: HashMap::new(),
+            next_handle: 0,
+            links: HashMap::new(),
+            gen_to_addr: HashMap::new(),
+            parked: HashMap::new(),
+            next_gen: 0,
+            mgr_idx: 0,
+            obs: Obs::disabled(),
+            m: None,
+        }
+    }
+
+    /// Attaches an observability handle: registers served/filled byte
+    /// counters, the fill-latency histogram, and a scrape-time collector
+    /// mirroring the block store's internals.
+    pub fn set_obs(&mut self, obs: Obs) {
+        if obs.is_enabled() {
+            let reg = obs.registry();
+            let n = self.cfg.name.as_str();
+            self.m = Some(ProxyMetrics {
+                bytes_cache: reg.counter(
+                    "scalla_pcache_bytes_served_total",
+                    &[("proxy", n), ("source", "cache")],
+                ),
+                bytes_origin: reg.counter(
+                    "scalla_pcache_bytes_served_total",
+                    &[("proxy", n), ("source", "origin")],
+                ),
+                fetches: reg.counter("scalla_pcache_origin_fetches_total", &[("proxy", n)]),
+                fill_ns: reg.histogram("scalla_pcache_fill_latency_ns", &[("proxy", n)]),
+                advertised: reg.counter("scalla_pcache_advertised_files_total", &[("proxy", n)]),
+                stale_replies: reg.counter("scalla_pcache_stale_replies_total", &[("proxy", n)]),
+            });
+            BlockStore::register_collector(self.store.clone(), &obs, n);
+        }
+        self.obs = obs;
+    }
+
+    /// The proxy's block store (shared; harnesses may inspect it).
+    pub fn store(&self) -> &Arc<BlockStore> {
+        &self.store
+    }
+
+    /// The configured host name.
+    pub fn name(&self) -> &str {
+        &self.cfg.name
+    }
+
+    /// Whether `path` has been advertised upward as fully cached.
+    pub fn is_advertised(&self, path: &str) -> bool {
+        self.files.get(path).is_some_and(|f| f.advertised)
+    }
+
+    // ---- origin-side send window -------------------------------------
+
+    fn enqueue(&mut self, ctx: &mut dyn NetCtx, req: OriginReq) {
+        let to = req.to;
+        self.links.entry(to).or_default().queue.push_back(req);
+        self.pump(ctx, to);
+    }
+
+    fn pump(&mut self, ctx: &mut dyn NetCtx, to: Addr) {
+        let Some(link) = self.links.get_mut(&to) else { return };
+        if link.outstanding.is_some() {
+            return;
+        }
+        let Some(req) = link.queue.pop_front() else { return };
+        self.next_gen += 1;
+        let gen = self.next_gen;
+        ctx.send(to, req.msg.clone());
+        ctx.set_timer(self.cfg.request_timeout, tokens::TIMEOUT_BASE + gen);
+        link.outstanding = Some((gen, req));
+        self.gen_to_addr.insert(gen, to);
+    }
+
+    // ---- client-facing path ------------------------------------------
+
+    fn handle_client_open(&mut self, ctx: &mut dyn NetCtx, from: Addr, path: String, write: bool) {
+        if write {
+            // Read-only tier: vector writers at a real redirector.
+            let mgr = self.cfg.origin_managers[self.mgr_idx % self.cfg.origin_managers.len()];
+            let reply = match self.cfg.directory.name_of(mgr) {
+                Some(host) => ServerMsg::Redirect { host },
+                None => ServerMsg::Error {
+                    code: ErrCode::BadRequest,
+                    detail: "proxy is read-only".into(),
+                },
+            };
+            ctx.send(from, reply.into());
+            return;
+        }
+        let file = self.files.entry(path.clone()).or_default();
+        if file.size.is_some() {
+            file.open_handles += 1;
+            let h = self.next_handle;
+            self.next_handle += 1;
+            self.handles.insert(h, path);
+            ctx.send(from, ServerMsg::OpenOk { handle: h }.into());
+            return;
+        }
+        file.open_waiters.push(from);
+        if file.phase == OriginPhase::Idle {
+            self.start_resolve(ctx, &path, false);
+        }
+    }
+
+    fn handle_client_read(
+        &mut self,
+        ctx: &mut dyn NetCtx,
+        from: Addr,
+        handle: u64,
+        offset: u64,
+        len: u32,
+    ) {
+        let Some(path) = self.handles.get(&handle).cloned() else {
+            let detail = format!("bad handle {handle}");
+            ctx.send(from, ServerMsg::Error { code: ErrCode::BadRequest, detail }.into());
+            return;
+        };
+        let store = self.store.clone();
+        let cache = self.cfg.cache.clone();
+        let bs = cache.block_size as u64;
+        let now = ctx.now();
+        let file = self.files.get_mut(&path).expect("open handle implies file state");
+        let size = file.size.expect("handles granted only once size is known");
+        let start = offset.min(size);
+        let end = offset.saturating_add(len as u64).min(size);
+        if start >= end {
+            // At or past EOF: an empty read, by the data-path convention.
+            ctx.send(from, ServerMsg::Data { data: Bytes::new() }.into());
+            return;
+        }
+        let first = start / bs;
+        let last = (end - 1) / bs;
+        let mut missing: HashSet<u64> = HashSet::new();
+        let mut origin_bytes = 0u64;
+        let mut parts: Vec<Bytes> = Vec::new();
+        for idx in first..=last {
+            let key = BlockKey::new(path.as_str(), idx);
+            let lo = start.max(idx * bs);
+            let hi = end.min(idx * bs + cache.block_len(size, idx));
+            match store.get(&key) {
+                Some(data) => {
+                    if missing.is_empty() {
+                        parts.push(data.slice((lo - idx * bs) as usize..(hi - idx * bs) as usize));
+                    }
+                }
+                None => {
+                    missing.insert(idx);
+                    origin_bytes += hi - lo;
+                    // Single-flight: Pinned means we own the fetch; any
+                    // other outcome coalesces onto the existing fill.
+                    store.try_pin(&key);
+                    file.fills.entry(idx).or_insert(Fill { started: now, requested: false });
+                }
+            }
+        }
+        // Sequential prefetch: claim up to K blocks past the last one read.
+        let nblocks = cache.blocks_for(size);
+        for idx in (last + 1)..(last + 1 + cache.prefetch as u64).min(nblocks) {
+            let key = BlockKey::new(path.as_str(), idx);
+            if !store.contains(&key) && store.try_pin(&key) == PinOutcome::Pinned {
+                file.fills.entry(idx).or_insert(Fill { started: now, requested: false });
+            }
+        }
+        let all_hit = missing.is_empty();
+        if all_hit {
+            let mut buf = Vec::with_capacity((end - start) as usize);
+            for p in parts {
+                buf.extend_from_slice(&p);
+            }
+            ctx.send(from, ServerMsg::Data { data: Bytes::from(buf) }.into());
+        } else {
+            file.reads.push(PendingRead { client: from, start, end, missing, origin_bytes });
+        }
+        let phase = file.phase;
+        let has_fills = !file.fills.is_empty();
+        if all_hit {
+            if let Some(m) = &self.m {
+                m.bytes_cache.add(end - start);
+            }
+        }
+        match phase {
+            OriginPhase::Ready => self.issue_fills(ctx, &path),
+            // Origin released after full caching (or never contacted):
+            // eviction re-opens the resolve walk.
+            OriginPhase::Idle if has_fills => self.start_resolve(ctx, &path, false),
+            _ => {}
+        }
+    }
+
+    fn handle_client_close(&mut self, ctx: &mut dyn NetCtx, from: Addr, handle: u64) {
+        if let Some(path) = self.handles.remove(&handle) {
+            if let Some(file) = self.files.get_mut(&path) {
+                file.open_handles = file.open_handles.saturating_sub(1);
+            }
+        }
+        ctx.send(from, ServerMsg::CloseOk.into());
+    }
+
+    // ---- origin lifecycle --------------------------------------------
+
+    fn start_resolve(&mut self, ctx: &mut dyn NetCtx, path: &str, refresh: bool) {
+        let mgr = self.cfg.origin_managers[self.mgr_idx % self.cfg.origin_managers.len()];
+        let Some(file) = self.files.get_mut(path) else { return };
+        file.phase = OriginPhase::Resolving;
+        let msg = ClientMsg::Open {
+            path: path.to_string(),
+            write: false,
+            refresh,
+            avoid: file.avoid.clone(),
+        }
+        .into();
+        self.enqueue(
+            ctx,
+            OriginReq { to: mgr, path: path.to_string(), kind: ReqKind::Resolve, msg },
+        );
+    }
+
+    fn file_ready(&mut self, ctx: &mut dyn NetCtx, path: &str) {
+        let waiters = {
+            let Some(file) = self.files.get_mut(path) else { return };
+            file.phase = OriginPhase::Ready;
+            file.refreshes = 0;
+            file.waits = 0;
+            file.avoid = None;
+            std::mem::take(&mut file.open_waiters)
+        };
+        for w in waiters {
+            let h = self.next_handle;
+            self.next_handle += 1;
+            self.handles.insert(h, path.to_string());
+            self.files.get_mut(path).expect("still present").open_handles += 1;
+            ctx.send(w, ServerMsg::OpenOk { handle: h }.into());
+        }
+        self.issue_fills(ctx, path);
+        self.check_fully_cached(ctx, path);
+    }
+
+    fn issue_fills(&mut self, ctx: &mut dyn NetCtx, path: &str) {
+        let cache = self.cfg.cache.clone();
+        let reqs = {
+            let Some(file) = self.files.get_mut(path) else { return };
+            if file.phase != OriginPhase::Ready {
+                return;
+            }
+            let (Some(origin), Some(size)) = (file.origin, file.size) else { return };
+            let handle = file.origin_handle;
+            let mut todo: Vec<u64> =
+                file.fills.iter().filter(|(_, f)| !f.requested).map(|(&i, _)| i).collect();
+            todo.sort_unstable();
+            let bs = cache.block_size as u64;
+            let mut reqs = Vec::with_capacity(todo.len());
+            for idx in todo {
+                file.fills.get_mut(&idx).expect("just listed").requested = true;
+                reqs.push(OriginReq {
+                    to: origin,
+                    path: path.to_string(),
+                    kind: ReqKind::Fill { index: idx },
+                    msg: ClientMsg::Read {
+                        handle,
+                        offset: idx * bs,
+                        len: cache.block_len(size, idx) as u32,
+                    }
+                    .into(),
+                });
+            }
+            reqs
+        };
+        for req in reqs {
+            self.enqueue(ctx, req);
+        }
+    }
+
+    fn fill_done(&mut self, ctx: &mut dyn NetCtx, path: &str, index: u64, data: Bytes) {
+        let store = self.store.clone();
+        let key = BlockKey::new(path, index);
+        let now = ctx.now();
+        let Some(file) = self.files.get_mut(path) else {
+            store.unpin(&key);
+            return;
+        };
+        if let Some(fill) = file.fills.remove(&index) {
+            if let Some(m) = &self.m {
+                m.fill_ns.record(now.since(fill.started).0);
+                m.fetches.inc();
+            }
+        }
+        store.insert(key, data);
+        self.complete_reads(ctx, path, index);
+        self.check_fully_cached(ctx, path);
+    }
+
+    /// Retires pending reads whose last missing block just landed.
+    fn complete_reads(&mut self, ctx: &mut dyn NetCtx, path: &str, index: u64) {
+        let store = self.store.clone();
+        let cache = self.cfg.cache.clone();
+        let bs = cache.block_size as u64;
+        let now = ctx.now();
+        let mut done: Vec<(Addr, Bytes, u64, u64)> = Vec::new();
+        let mut refilled = false;
+        {
+            let Some(file) = self.files.get_mut(path) else { return };
+            let size = file.size.unwrap_or(0);
+            let FileState { reads, fills, .. } = file;
+            let mut i = 0;
+            while i < reads.len() {
+                let r = &mut reads[i];
+                r.missing.remove(&index);
+                if !r.missing.is_empty() {
+                    i += 1;
+                    continue;
+                }
+                let first = r.start / bs;
+                let last = (r.end - 1) / bs;
+                let mut buf = Vec::with_capacity((r.end - r.start) as usize);
+                let mut evicted = Vec::new();
+                for idx in first..=last {
+                    match store.peek_block(&BlockKey::new(path, idx)) {
+                        Some(data) => {
+                            let lo = r.start.max(idx * bs);
+                            let hi = r.end.min(idx * bs + cache.block_len(size, idx));
+                            buf.extend_from_slice(
+                                &data[(lo - idx * bs) as usize..(hi - idx * bs) as usize],
+                            );
+                        }
+                        None => evicted.push(idx),
+                    }
+                }
+                if evicted.is_empty() {
+                    let cached = (r.end - r.start) - r.origin_bytes;
+                    done.push((r.client, Bytes::from(buf), cached, r.origin_bytes));
+                    reads.swap_remove(i);
+                } else {
+                    // Evicted between fill and assembly (tiny cache under
+                    // pressure): re-claim and fetch again.
+                    for idx in evicted {
+                        r.missing.insert(idx);
+                        store.try_pin(&BlockKey::new(path, idx));
+                        fills.entry(idx).or_insert(Fill { started: now, requested: false });
+                        refilled = true;
+                    }
+                    i += 1;
+                }
+            }
+        }
+        for (client, data, cached, origin) in done {
+            ctx.send(client, ServerMsg::Data { data }.into());
+            if let Some(m) = &self.m {
+                m.bytes_cache.add(cached);
+                m.bytes_origin.add(origin);
+            }
+        }
+        if refilled {
+            match self.files.get(path).map(|f| f.phase) {
+                Some(OriginPhase::Ready) => self.issue_fills(ctx, path),
+                Some(OriginPhase::Idle) => self.start_resolve(ctx, path, false),
+                _ => {}
+            }
+        }
+    }
+
+    /// Advertises a file upward once every block is cached, and releases
+    /// the origin handle when nothing more is in flight.
+    fn check_fully_cached(&mut self, ctx: &mut dyn NetCtx, path: &str) {
+        let store = self.store.clone();
+        let cache = self.cfg.cache.clone();
+        let close = {
+            let Some(file) = self.files.get_mut(path) else { return };
+            let Some(size) = file.size else { return };
+            if !file.advertised {
+                let n = cache.blocks_for(size);
+                if !(0..n).all(|i| store.contains(&BlockKey::new(path, i))) {
+                    return;
+                }
+                file.advertised = true;
+                let hash = crc32(path.as_bytes());
+                for &parent in &self.cfg.parents {
+                    ctx.send(
+                        parent,
+                        CmsMsg::Have { reqid: 0, path: path.to_string(), hash, staging: false }
+                            .into(),
+                    );
+                }
+                if let Some(m) = &self.m {
+                    m.advertised.inc();
+                }
+            }
+            if file.fills.is_empty() && file.reads.is_empty() {
+                file.phase = OriginPhase::Idle;
+                file.origin.take().map(|origin| (origin, file.origin_handle))
+            } else {
+                None
+            }
+        };
+        if let Some((origin, handle)) = close {
+            self.enqueue(
+                ctx,
+                OriginReq {
+                    to: origin,
+                    path: path.to_string(),
+                    kind: ReqKind::CloseOrigin,
+                    msg: ClientMsg::Close { handle }.into(),
+                },
+            );
+        }
+    }
+
+    // ---- recovery ----------------------------------------------------
+
+    /// §III-C1 on the proxy's behalf: drop the origin binding, mark the
+    /// failing host to be avoided, and re-resolve with `refresh: true`.
+    fn recover_file(&mut self, ctx: &mut dyn NetCtx, path: &str, failing: Option<Addr>) {
+        let too_many = {
+            let Some(file) = self.files.get_mut(path) else { return };
+            file.refreshes += 1;
+            file.refreshes > self.cfg.max_refreshes
+        };
+        if too_many {
+            self.fail_file(ctx, path, ErrCode::IoError, "origin unreachable");
+            return;
+        }
+        let avoid = failing.and_then(|a| self.cfg.directory.name_of(a));
+        {
+            let file = self.files.get_mut(path).expect("present above");
+            file.phase = OriginPhase::Idle;
+            file.origin = None;
+            if avoid.is_some() {
+                file.avoid = avoid;
+            }
+            for f in file.fills.values_mut() {
+                f.requested = false;
+            }
+        }
+        for link in self.links.values_mut() {
+            link.queue.retain(|r| r.path != path);
+        }
+        self.start_resolve(ctx, path, true);
+    }
+
+    /// Terminal failure: error out every waiter and pending read, release
+    /// fill pins, and forget the file unless handles still reference it.
+    fn fail_file(&mut self, ctx: &mut dyn NetCtx, path: &str, code: ErrCode, detail: &str) {
+        let store = self.store.clone();
+        for link in self.links.values_mut() {
+            link.queue.retain(|r| r.path != path);
+        }
+        let drop_state = {
+            let Some(file) = self.files.get_mut(path) else { return };
+            for w in file.open_waiters.drain(..) {
+                ctx.send(w, ServerMsg::Error { code, detail: detail.to_string() }.into());
+            }
+            for r in file.reads.drain(..) {
+                ctx.send(r.client, ServerMsg::Error { code, detail: detail.to_string() }.into());
+            }
+            for &idx in file.fills.keys() {
+                store.unpin(&BlockKey::new(path, idx));
+            }
+            file.fills.clear();
+            file.phase = OriginPhase::Idle;
+            file.origin = None;
+            file.refreshes = 0;
+            file.waits = 0;
+            file.open_handles == 0 && !file.advertised
+        };
+        if drop_state {
+            self.files.remove(path);
+        }
+        if self.obs.is_enabled() {
+            self.obs.incident("pcache_origin_failed");
+        }
+    }
+
+    fn park_retry(&mut self, ctx: &mut dyn NetCtx, req: OriginReq, millis: u64) {
+        let too_many = {
+            let Some(file) = self.files.get_mut(&req.path) else { return };
+            file.waits += 1;
+            file.waits > self.cfg.max_waits
+        };
+        if too_many {
+            let path = req.path.clone();
+            self.fail_file(ctx, &path, ErrCode::IoError, "origin kept us waiting");
+            return;
+        }
+        self.next_gen += 1;
+        let id = self.next_gen;
+        self.parked.insert(id, req);
+        ctx.set_timer(Nanos::from_millis(millis.max(1)), tokens::RETRY_BASE + id);
+    }
+
+    // ---- origin reply dispatch ---------------------------------------
+
+    fn handle_origin_reply(&mut self, ctx: &mut dyn NetCtx, from: Addr, msg: ServerMsg) {
+        let Some(link) = self.links.get_mut(&from) else { return };
+        let Some((gen, req)) = link.outstanding.take() else {
+            // Positional correlation: with nothing outstanding this is a
+            // duplicate or a post-timeout straggler. Drop it.
+            if let Some(m) = &self.m {
+                m.stale_replies.inc();
+            }
+            return;
+        };
+        self.gen_to_addr.remove(&gen);
+        match (req.kind, msg) {
+            (ReqKind::Resolve, ServerMsg::Redirect { host }) => {
+                match self.cfg.directory.addr_of(&host) {
+                    Some(addr) => self.enqueue(
+                        ctx,
+                        OriginReq {
+                            to: addr,
+                            path: req.path,
+                            kind: ReqKind::Resolve,
+                            msg: req.msg,
+                        },
+                    ),
+                    None => self.recover_file(ctx, &req.path, Some(from)),
+                }
+            }
+            (ReqKind::Resolve, ServerMsg::OpenOk { handle }) => {
+                let Some(file) = self.files.get_mut(&req.path) else {
+                    // File failed or was dropped mid-resolve: close politely.
+                    self.enqueue(
+                        ctx,
+                        OriginReq {
+                            to: from,
+                            path: req.path,
+                            kind: ReqKind::CloseOrigin,
+                            msg: ClientMsg::Close { handle }.into(),
+                        },
+                    );
+                    self.pump(ctx, from);
+                    return;
+                };
+                file.origin = Some(from);
+                file.origin_handle = handle;
+                if file.size.is_some() {
+                    self.file_ready(ctx, &req.path);
+                } else {
+                    file.phase = OriginPhase::Statting;
+                    let msg = ClientMsg::Stat { path: req.path.clone() }.into();
+                    self.enqueue(
+                        ctx,
+                        OriginReq { to: from, path: req.path, kind: ReqKind::Stat, msg },
+                    );
+                }
+            }
+            (ReqKind::Stat, ServerMsg::StatOk { size, .. }) => {
+                if let Some(file) = self.files.get_mut(&req.path) {
+                    file.size = Some(size);
+                    self.file_ready(ctx, &req.path);
+                }
+            }
+            (ReqKind::Fill { index }, ServerMsg::Data { data }) => {
+                self.fill_done(ctx, &req.path, index, data);
+            }
+            (_, ServerMsg::Wait { millis }) => self.park_retry(ctx, req, millis),
+            (_, ServerMsg::Error { code: ErrCode::Retry, .. }) => self.park_retry(ctx, req, 50),
+            (ReqKind::Resolve, ServerMsg::Error { code: ErrCode::NotFound, .. })
+                if self.cfg.origin_managers.contains(&from) =>
+            {
+                // The redirector searched the whole cluster: terminal.
+                self.fail_file(ctx, &req.path, ErrCode::NotFound, "no origin has the file");
+            }
+            (ReqKind::Resolve | ReqKind::Stat | ReqKind::Fill { .. }, ServerMsg::Error { .. }) => {
+                self.recover_file(ctx, &req.path, Some(from));
+            }
+            (ReqKind::CloseOrigin, _) => {}
+            (_, _) => {
+                // Reply shape doesn't match the head request (e.g. a
+                // duplicated frame shifted the window). Accepting it would
+                // corrupt state; dropping costs one timeout-driven retry.
+                if let Some(m) = &self.m {
+                    m.stale_replies.inc();
+                }
+            }
+        }
+        self.pump(ctx, from);
+    }
+}
+
+impl Node for ProxyNode {
+    fn on_start(&mut self, ctx: &mut dyn NetCtx) {
+        // Revive hygiene: in-flight origin state died with the process;
+        // pins and fill tickets persist and are re-requested on demand.
+        self.links.clear();
+        self.gen_to_addr.clear();
+        self.parked.clear();
+        for file in self.files.values_mut() {
+            file.phase = OriginPhase::Idle;
+            file.origin = None;
+            file.open_waiters.clear();
+            file.reads.clear();
+            for f in file.fills.values_mut() {
+                f.requested = false;
+            }
+        }
+        let login: Msg = CmsMsg::Login {
+            name: self.cfg.name.clone(),
+            role: NodeRoleTag::Server,
+            exports: self.cfg.exports.clone(),
+        }
+        .into();
+        for &parent in &self.cfg.parents {
+            ctx.send(parent, login.clone());
+        }
+        ctx.set_timer(self.cfg.heartbeat, tokens::HEARTBEAT);
+    }
+
+    fn on_message(&mut self, ctx: &mut dyn NetCtx, from: Addr, msg: Msg) {
+        match msg {
+            Msg::Client(ClientMsg::Open { path, write, .. }) => {
+                self.handle_client_open(ctx, from, path, write);
+            }
+            Msg::Client(ClientMsg::Read { handle, offset, len }) => {
+                self.handle_client_read(ctx, from, handle, offset, len);
+            }
+            Msg::Client(ClientMsg::Close { handle }) => {
+                self.handle_client_close(ctx, from, handle);
+            }
+            Msg::Client(ClientMsg::Write { .. }) => {
+                ctx.send(
+                    from,
+                    ServerMsg::Error {
+                        code: ErrCode::BadRequest,
+                        detail: "proxy is read-only".into(),
+                    }
+                    .into(),
+                );
+            }
+            Msg::Client(ClientMsg::Stat { path }) => {
+                let reply = match self.files.get(&path).and_then(|f| f.size) {
+                    Some(size) => ServerMsg::StatOk { size, online: true },
+                    None => ServerMsg::Error {
+                        code: ErrCode::NotFound,
+                        detail: format!("{path} not cached by {}", self.cfg.name),
+                    },
+                };
+                ctx.send(from, reply.into());
+            }
+            Msg::Client(ClientMsg::Prepare { .. }) => {
+                ctx.send(from, ServerMsg::PrepareOk.into());
+            }
+            Msg::Client(ClientMsg::List { .. }) => {
+                ctx.send(
+                    from,
+                    ServerMsg::Error {
+                        code: ErrCode::BadRequest,
+                        detail: "listing is served by the cns daemon".into(),
+                    }
+                    .into(),
+                );
+            }
+            Msg::Server(reply) => self.handle_origin_reply(ctx, from, reply),
+            Msg::Cms(CmsMsg::Locate { reqid, path, hash, write }) => {
+                // Answer positively only, and only for files we can serve
+                // without the origin (fully cached).
+                if !write && self.is_advertised(&path) {
+                    ctx.send(from, CmsMsg::Have { reqid, path, hash, staging: false }.into());
+                }
+            }
+            Msg::Cms(_) => {
+                // LoginOk / LoginRejected / stray cluster traffic.
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn NetCtx, token: u64) {
+        if token == tokens::HEARTBEAT {
+            let load = self.handles.len() as u32;
+            let free = self.cfg.cache.capacity.saturating_sub(self.store.used_bytes());
+            for &parent in &self.cfg.parents.clone() {
+                ctx.send(parent, CmsMsg::LoadReport { load, free_bytes: free }.into());
+            }
+            ctx.set_timer(self.cfg.heartbeat, tokens::HEARTBEAT);
+        } else if token >= tokens::RETRY_BASE {
+            if let Some(req) = self.parked.remove(&(token - tokens::RETRY_BASE)) {
+                self.enqueue(ctx, req);
+            }
+        } else if token >= tokens::TIMEOUT_BASE {
+            let gen = token - tokens::TIMEOUT_BASE;
+            let Some(addr) = self.gen_to_addr.remove(&gen) else { return };
+            let Some(link) = self.links.get_mut(&addr) else { return };
+            let Some((g, req)) = link.outstanding.take() else { return };
+            if g != gen {
+                link.outstanding = Some((g, req));
+                return;
+            }
+            match req.kind {
+                ReqKind::CloseOrigin => {}
+                ReqKind::Resolve if self.cfg.origin_managers.contains(&addr) => {
+                    // Redirector unresponsive: rotate to the next one.
+                    self.mgr_idx += 1;
+                    self.recover_file(ctx, &req.path, None);
+                }
+                _ => self.recover_file(ctx, &req.path, Some(addr)),
+            }
+            self.pump(ctx, addr);
+        }
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct MockCtx {
+        now: Nanos,
+        me: Addr,
+        sends: Vec<(Addr, Msg)>,
+        timers: Vec<(Nanos, u64)>,
+        rng: u64,
+    }
+
+    impl MockCtx {
+        fn new() -> MockCtx {
+            MockCtx {
+                now: Nanos::ZERO,
+                me: Addr(100),
+                sends: Vec::new(),
+                timers: Vec::new(),
+                rng: 1,
+            }
+        }
+
+        fn take_sends(&mut self) -> Vec<(Addr, Msg)> {
+            std::mem::take(&mut self.sends)
+        }
+    }
+
+    impl NetCtx for MockCtx {
+        fn now(&self) -> Nanos {
+            self.now
+        }
+        fn me(&self) -> Addr {
+            self.me
+        }
+        fn send(&mut self, to: Addr, msg: Msg) {
+            self.sends.push((to, msg));
+        }
+        fn set_timer(&mut self, delay: Nanos, token: u64) {
+            self.timers.push((delay, token));
+        }
+        fn rand_u64(&mut self) -> u64 {
+            self.rng = self.rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.rng
+        }
+    }
+
+    const MGR: Addr = Addr(0);
+    const SRV: Addr = Addr(1);
+    const CLIENT: Addr = Addr(10);
+    const CLIENT2: Addr = Addr(11);
+
+    fn proxy(block_size: u32) -> ProxyNode {
+        let dir = Arc::new(Directory::new());
+        dir.register("mgr-0", MGR);
+        dir.register("srv-0", SRV);
+        let mut cfg = ProxyConfig::new("pxy-0", MGR, dir);
+        cfg.cache.block_size = block_size;
+        cfg.cache.prefetch = 0;
+        ProxyNode::new(cfg)
+    }
+
+    fn open(path: &str, write: bool) -> Msg {
+        ClientMsg::Open { path: path.into(), write, refresh: false, avoid: None }.into()
+    }
+
+    /// Walks a proxy through resolve → open → stat for `path` of `size`
+    /// bytes and returns the client's handle.
+    fn resolve(p: &mut ProxyNode, ctx: &mut MockCtx, path: &str, size: u64) -> u64 {
+        p.on_message(ctx, CLIENT, open(path, false));
+        // Resolve goes to the manager.
+        let sends = ctx.take_sends();
+        assert!(
+            matches!(&sends[0], (a, Msg::Client(ClientMsg::Open { write: false, .. })) if *a == MGR),
+            "{sends:?}"
+        );
+        // Manager redirects to the data server.
+        p.on_message(ctx, MGR, Msg::Server(ServerMsg::Redirect { host: "srv-0".into() }));
+        let sends = ctx.take_sends();
+        assert!(matches!(&sends[0], (a, Msg::Client(ClientMsg::Open { .. })) if *a == SRV));
+        // Server opens; proxy stats for the size.
+        p.on_message(ctx, SRV, Msg::Server(ServerMsg::OpenOk { handle: 77 }));
+        let sends = ctx.take_sends();
+        assert!(matches!(&sends[0], (a, Msg::Client(ClientMsg::Stat { .. })) if *a == SRV));
+        p.on_message(ctx, SRV, Msg::Server(ServerMsg::StatOk { size, online: true }));
+        let sends = ctx.take_sends();
+        match &sends[0] {
+            (a, Msg::Server(ServerMsg::OpenOk { handle })) if *a == CLIENT => *handle,
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_open_redirects_to_the_real_redirector() {
+        let mut p = proxy(1024);
+        let mut ctx = MockCtx::new();
+        p.on_message(&mut ctx, CLIENT, open("/d/f", true));
+        match &ctx.sends[0] {
+            (a, Msg::Server(ServerMsg::Redirect { host })) if *a == CLIENT => {
+                assert_eq!(host, "mgr-0");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn cold_read_fills_from_origin_then_serves() {
+        let mut p = proxy(1024);
+        let mut ctx = MockCtx::new();
+        let h = resolve(&mut p, &mut ctx, "/d/f", 2048);
+        // Read both blocks: misses, so fills go out — window of one.
+        p.on_message(&mut ctx, CLIENT, ClientMsg::Read { handle: h, offset: 0, len: 2048 }.into());
+        let sends = ctx.take_sends();
+        assert_eq!(sends.len(), 1, "strict per-link window: {sends:?}");
+        assert!(matches!(
+            &sends[0],
+            (a, Msg::Client(ClientMsg::Read { handle: 77, offset: 0, len: 1024 })) if *a == SRV
+        ));
+        p.on_message(&mut ctx, SRV, Msg::Server(ServerMsg::Data { data: vec![1u8; 1024].into() }));
+        let sends = ctx.take_sends();
+        assert!(matches!(
+            &sends[0],
+            (_, Msg::Client(ClientMsg::Read { offset: 1024, len: 1024, .. }))
+        ));
+        p.on_message(&mut ctx, SRV, Msg::Server(ServerMsg::Data { data: vec![2u8; 1024].into() }));
+        let sends = ctx.take_sends();
+        // Client gets the assembled read, the parent gets the V_h advert,
+        // and the origin handle is released.
+        let data = sends
+            .iter()
+            .find_map(|(a, m)| match (a, m) {
+                (a, Msg::Server(ServerMsg::Data { data })) if *a == CLIENT => Some(data.clone()),
+                _ => None,
+            })
+            .expect("client reply in {sends:?}");
+        assert_eq!(data.len(), 2048);
+        assert_eq!(&data[..1024], &[1u8; 1024][..]);
+        assert_eq!(&data[1024..], &[2u8; 1024][..]);
+        assert!(sends.iter().any(|(a, m)| *a == MGR
+            && matches!(m, Msg::Cms(CmsMsg::Have { reqid: 0, staging: false, .. }))));
+        assert!(sends
+            .iter()
+            .any(|(a, m)| *a == SRV && matches!(m, Msg::Client(ClientMsg::Close { handle: 77 }))));
+        assert!(p.is_advertised("/d/f"));
+
+        // Warm read: served straight from cache, zero origin traffic.
+        p.on_message(
+            &mut ctx,
+            CLIENT,
+            ClientMsg::Read { handle: h, offset: 512, len: 1024 }.into(),
+        );
+        let sends = ctx.take_sends();
+        assert_eq!(sends.len(), 1);
+        match &sends[0] {
+            (a, Msg::Server(ServerMsg::Data { data })) if *a == CLIENT => {
+                assert_eq!(data.len(), 1024);
+                assert_eq!(&data[..512], &[1u8; 512][..]);
+                assert_eq!(&data[512..], &[2u8; 512][..]);
+            }
+            other => panic!("{other:?}"),
+        }
+        let stats = p.store().stats();
+        assert_eq!(stats.inserts, 2);
+        assert!(stats.hits >= 2, "warm read hit both blocks: {stats:?}");
+    }
+
+    #[test]
+    fn concurrent_misses_coalesce_into_one_fetch() {
+        let mut p = proxy(1024);
+        let mut ctx = MockCtx::new();
+        let h1 = resolve(&mut p, &mut ctx, "/d/f", 1024);
+        p.on_message(&mut ctx, CLIENT2, open("/d/f", false));
+        let h2 = match &ctx.take_sends()[0] {
+            (_, Msg::Server(ServerMsg::OpenOk { handle })) => *handle,
+            other => panic!("{other:?}"),
+        };
+        assert_ne!(h1, h2);
+        p.on_message(&mut ctx, CLIENT, ClientMsg::Read { handle: h1, offset: 0, len: 1024 }.into());
+        p.on_message(&mut ctx, CLIENT2, ClientMsg::Read { handle: h2, offset: 0, len: 512 }.into());
+        let sends = ctx.take_sends();
+        let fetches = sends
+            .iter()
+            .filter(|(a, m)| *a == SRV && matches!(m, Msg::Client(ClientMsg::Read { .. })))
+            .count();
+        assert_eq!(fetches, 1, "single-flight: one origin fetch for both readers");
+        // The one fill releases both pending reads.
+        p.on_message(&mut ctx, SRV, Msg::Server(ServerMsg::Data { data: vec![7u8; 1024].into() }));
+        let sends = ctx.take_sends();
+        let replies: Vec<&Addr> = sends
+            .iter()
+            .filter_map(|(a, m)| matches!(m, Msg::Server(ServerMsg::Data { .. })).then_some(a))
+            .collect();
+        assert!(replies.contains(&&CLIENT) && replies.contains(&&CLIENT2), "{sends:?}");
+    }
+
+    #[test]
+    fn prefetch_claims_blocks_ahead() {
+        let mut p = {
+            let dir = Arc::new(Directory::new());
+            dir.register("mgr-0", MGR);
+            dir.register("srv-0", SRV);
+            let mut cfg = ProxyConfig::new("pxy-0", MGR, dir);
+            cfg.cache.block_size = 1024;
+            cfg.cache.prefetch = 2;
+            ProxyNode::new(cfg)
+        };
+        let mut ctx = MockCtx::new();
+        let h = resolve(&mut p, &mut ctx, "/d/f", 8192);
+        p.on_message(&mut ctx, CLIENT, ClientMsg::Read { handle: h, offset: 0, len: 1024 }.into());
+        // Demand block 0 plus prefetch of blocks 1 and 2 are all ticketed.
+        assert_eq!(p.store().pinned_count(), 3);
+    }
+
+    #[test]
+    fn origin_error_triggers_refresh_with_avoid() {
+        let mut p = proxy(1024);
+        let mut ctx = MockCtx::new();
+        let h = resolve(&mut p, &mut ctx, "/d/f", 1024);
+        p.on_message(&mut ctx, CLIENT, ClientMsg::Read { handle: h, offset: 0, len: 1024 }.into());
+        ctx.take_sends();
+        // The fill fails: proxy re-resolves, refreshing and avoiding srv-0.
+        p.on_message(
+            &mut ctx,
+            SRV,
+            Msg::Server(ServerMsg::Error { code: ErrCode::IoError, detail: "lost".into() }),
+        );
+        let sends = ctx.take_sends();
+        match &sends[0] {
+            (a, Msg::Client(ClientMsg::Open { refresh: true, avoid: Some(av), .. }))
+                if *a == MGR =>
+            {
+                assert_eq!(av, "srv-0");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn locate_answers_have_only_when_fully_cached() {
+        let mut p = proxy(1024);
+        let mut ctx = MockCtx::new();
+        let locate: Msg =
+            CmsMsg::Locate { reqid: 4, path: "/d/f".into(), hash: crc32(b"/d/f"), write: false }
+                .into();
+        p.on_message(&mut ctx, MGR, locate.clone());
+        assert!(ctx.sends.is_empty(), "unknown file: silent");
+        let h = resolve(&mut p, &mut ctx, "/d/f", 1024);
+        p.on_message(&mut ctx, MGR, locate.clone());
+        assert!(ctx.sends.is_empty(), "not yet cached: silent");
+        p.on_message(&mut ctx, CLIENT, ClientMsg::Read { handle: h, offset: 0, len: 1024 }.into());
+        ctx.take_sends();
+        p.on_message(&mut ctx, SRV, Msg::Server(ServerMsg::Data { data: vec![0u8; 1024].into() }));
+        ctx.take_sends();
+        p.on_message(&mut ctx, MGR, locate);
+        assert!(
+            matches!(&ctx.sends[0], (a, Msg::Cms(CmsMsg::Have { reqid: 4, .. })) if *a == MGR),
+            "{:?}",
+            ctx.sends
+        );
+    }
+
+    #[test]
+    fn login_and_heartbeat_look_like_a_data_server() {
+        let mut p = proxy(1024);
+        let mut ctx = MockCtx::new();
+        p.on_start(&mut ctx);
+        assert!(matches!(
+            &ctx.sends[0],
+            (a, Msg::Cms(CmsMsg::Login { role: NodeRoleTag::Server, .. })) if *a == MGR
+        ));
+        ctx.take_sends();
+        p.on_timer(&mut ctx, tokens::HEARTBEAT);
+        assert!(matches!(&ctx.sends[0], (_, Msg::Cms(CmsMsg::LoadReport { .. }))));
+    }
+
+    #[test]
+    fn stale_reply_with_nothing_outstanding_is_dropped() {
+        let mut p = proxy(1024);
+        let mut ctx = MockCtx::new();
+        p.on_message(&mut ctx, SRV, Msg::Server(ServerMsg::CloseOk));
+        p.on_message(&mut ctx, SRV, Msg::Server(ServerMsg::Data { data: Bytes::new() }));
+        assert!(ctx.sends.is_empty());
+    }
+
+    #[test]
+    fn read_past_eof_returns_empty() {
+        let mut p = proxy(1024);
+        let mut ctx = MockCtx::new();
+        let h = resolve(&mut p, &mut ctx, "/d/f", 100);
+        p.on_message(&mut ctx, CLIENT, ClientMsg::Read { handle: h, offset: 500, len: 10 }.into());
+        assert!(matches!(
+            &ctx.sends[0],
+            (a, Msg::Server(ServerMsg::Data { data })) if *a == CLIENT && data.is_empty()
+        ));
+    }
+}

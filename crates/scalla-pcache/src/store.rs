@@ -1,0 +1,498 @@
+//! The sharded block store behind a proxy node.
+//!
+//! Files are cached at block granularity (configurable, 64 KiB by
+//! default). Each block lives in one of N independently locked shards,
+//! selected by a hash of `(path, block index)`; byte accounting is a
+//! single atomic shared by all shards so watermark decisions see the
+//! whole store. Eviction is LRU per shard with a round-robin sweep
+//! across shards: once `used > high watermark`, least-recently-used
+//! blocks are discarded until `used <= low watermark`. Blocks whose
+//! fill is still in flight are *pinned* placeholders — they hold no
+//! bytes and are never eviction victims, which is what makes
+//! single-flight coalescing safe (the fill's ticket cannot be evicted
+//! from under the waiters).
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use scalla_util::crc32;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Proxy cache tuning.
+#[derive(Clone, Debug)]
+pub struct PcacheConfig {
+    /// Cache block size in bytes (the fetch/eviction granule).
+    pub block_size: u32,
+    /// Total cache capacity in bytes.
+    pub capacity: u64,
+    /// Eviction trigger: permille of capacity (e.g. 900 = 90 %).
+    pub high_permille: u32,
+    /// Eviction target: permille of capacity eviction drains down to.
+    pub low_permille: u32,
+    /// Sequential prefetch depth in blocks past the last requested
+    /// block (0 disables prefetch).
+    pub prefetch: u32,
+    /// Number of independently locked shards.
+    pub shards: usize,
+}
+
+impl Default for PcacheConfig {
+    fn default() -> PcacheConfig {
+        PcacheConfig {
+            block_size: 64 << 10,
+            capacity: 256 << 20,
+            high_permille: 900,
+            low_permille: 700,
+            prefetch: 2,
+            shards: 8,
+        }
+    }
+}
+
+impl PcacheConfig {
+    /// The high watermark in bytes: eviction starts above this.
+    pub fn high_bytes(&self) -> u64 {
+        (self.capacity as u128 * self.high_permille.min(1000) as u128 / 1000) as u64
+    }
+
+    /// The low watermark in bytes: eviction drains down to this.
+    pub fn low_bytes(&self) -> u64 {
+        let low = self.low_permille.min(self.high_permille);
+        (self.capacity as u128 * low.min(1000) as u128 / 1000) as u64
+    }
+
+    /// Number of blocks covering a file of `size` bytes.
+    pub fn blocks_for(&self, size: u64) -> u64 {
+        size.div_ceil(self.block_size as u64)
+    }
+
+    /// Length of block `index` of a file of `size` bytes (the tail block
+    /// may be short).
+    pub fn block_len(&self, size: u64, index: u64) -> u64 {
+        let bs = self.block_size as u64;
+        let start = index * bs;
+        size.saturating_sub(start).min(bs)
+    }
+}
+
+/// Identity of one cached block: file path plus block index.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct BlockKey {
+    /// The file the block belongs to.
+    pub path: Arc<str>,
+    /// Block index within the file (`offset / block_size`).
+    pub index: u64,
+}
+
+impl BlockKey {
+    /// Key for block `index` of `path`.
+    pub fn new(path: impl Into<Arc<str>>, index: u64) -> BlockKey {
+        BlockKey { path: path.into(), index }
+    }
+}
+
+/// Outcome of a single-flight pin attempt.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PinOutcome {
+    /// The block is already cached — no fetch needed.
+    Present,
+    /// The caller now owns the (single) in-flight fill for this block.
+    Pinned,
+    /// Another fill is already in flight — coalesce onto it.
+    AlreadyPinned,
+}
+
+struct Slot {
+    data: Bytes,
+    /// LRU generation stamp; queue entries with stale stamps are skipped.
+    gen: u64,
+    /// In-flight fill placeholder: holds no bytes, never evicted.
+    pinned: bool,
+}
+
+#[derive(Default)]
+struct ShardInner {
+    map: HashMap<BlockKey, Slot>,
+    /// LRU order with lazy deletion: `(key, gen)` pairs, stale when the
+    /// slot's current gen differs.
+    lru: VecDeque<(BlockKey, u64)>,
+    next_gen: u64,
+}
+
+impl ShardInner {
+    fn touch(&mut self, key: &BlockKey) {
+        self.next_gen += 1;
+        let gen = self.next_gen;
+        if let Some(slot) = self.map.get_mut(key) {
+            slot.gen = gen;
+        }
+        self.lru.push_back((key.clone(), gen));
+        self.maybe_compact();
+    }
+
+    fn maybe_compact(&mut self) {
+        if self.lru.len() > 4 * self.map.len() + 64 {
+            let map = &self.map;
+            self.lru.retain(|(k, g)| map.get(k).is_some_and(|s| s.gen == *g && !s.pinned));
+        }
+    }
+}
+
+/// Point-in-time copy of the store's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PcacheStats {
+    /// Block look-ups served from cache.
+    pub hits: u64,
+    /// Block look-ups that missed.
+    pub misses: u64,
+    /// Blocks discarded by watermark eviction.
+    pub evictions: u64,
+    /// Blocks inserted (fills completed).
+    pub inserts: u64,
+    /// Bytes inserted by fills.
+    pub bytes_inserted: u64,
+    /// Bytes discarded by eviction.
+    pub bytes_evicted: u64,
+}
+
+impl PcacheStats {
+    /// Hit fraction over all look-ups so far (0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Default)]
+struct StatCells {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    inserts: AtomicU64,
+    bytes_inserted: AtomicU64,
+    bytes_evicted: AtomicU64,
+}
+
+/// The sharded, byte-accounted block cache.
+pub struct BlockStore {
+    cfg: PcacheConfig,
+    shards: Vec<Mutex<ShardInner>>,
+    used: AtomicU64,
+    evict_cursor: AtomicUsize,
+    stats: StatCells,
+}
+
+impl BlockStore {
+    /// An empty store with `cfg` tuning.
+    pub fn new(cfg: PcacheConfig) -> BlockStore {
+        let n = cfg.shards.max(1);
+        BlockStore {
+            cfg,
+            shards: (0..n).map(|_| Mutex::new(ShardInner::default())).collect(),
+            used: AtomicU64::new(0),
+            evict_cursor: AtomicUsize::new(0),
+            stats: StatCells::default(),
+        }
+    }
+
+    /// The tuning this store was built with.
+    pub fn config(&self) -> &PcacheConfig {
+        &self.cfg
+    }
+
+    fn shard_for(&self, key: &BlockKey) -> &Mutex<ShardInner> {
+        let h = crc32(key.path.as_bytes()) as u64 ^ key.index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+
+    /// Looks a block up, counting a hit or miss and refreshing LRU order.
+    pub fn get(&self, key: &BlockKey) -> Option<Bytes> {
+        let mut shard = self.shard_for(key).lock();
+        match shard.map.get(key) {
+            Some(slot) if !slot.pinned => {
+                let data = slot.data.clone();
+                shard.touch(key);
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                Some(data)
+            }
+            _ => {
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Looks a block up without touching the hit/miss counters (assembly
+    /// of an already-counted pending read). Still refreshes LRU order.
+    pub fn peek_block(&self, key: &BlockKey) -> Option<Bytes> {
+        let mut shard = self.shard_for(key).lock();
+        match shard.map.get(key) {
+            Some(slot) if !slot.pinned => {
+                let data = slot.data.clone();
+                shard.touch(key);
+                Some(data)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether the block is cached (pins don't count). No stats, no
+    /// LRU effect.
+    pub fn contains(&self, key: &BlockKey) -> bool {
+        self.shard_for(key).lock().map.get(key).is_some_and(|s| !s.pinned)
+    }
+
+    /// Single-flight gate: claims the fill for an absent block. Exactly
+    /// one caller gets [`PinOutcome::Pinned`] per absent block; everyone
+    /// else coalesces.
+    pub fn try_pin(&self, key: &BlockKey) -> PinOutcome {
+        let mut shard = self.shard_for(key).lock();
+        match shard.map.get(key) {
+            Some(slot) if slot.pinned => PinOutcome::AlreadyPinned,
+            Some(_) => PinOutcome::Present,
+            None => {
+                shard.map.insert(key.clone(), Slot { data: Bytes::new(), gen: 0, pinned: true });
+                PinOutcome::Pinned
+            }
+        }
+    }
+
+    /// Abandons an in-flight fill (origin fetch failed) so a later
+    /// request can re-claim the block.
+    pub fn unpin(&self, key: &BlockKey) {
+        let mut shard = self.shard_for(key).lock();
+        if shard.map.get(key).is_some_and(|s| s.pinned) {
+            shard.map.remove(key);
+        }
+    }
+
+    /// Completes a fill: stores the bytes (clearing any pin), accounts
+    /// them, and evicts down to the low watermark if the high watermark
+    /// was crossed.
+    pub fn insert(&self, key: BlockKey, data: Bytes) {
+        let len = data.len() as u64;
+        {
+            let mut shard = self.shard_for(&key).lock();
+            shard.next_gen += 1;
+            let gen = shard.next_gen;
+            if let Some(prev) = shard.map.insert(key.clone(), Slot { data, gen, pinned: false }) {
+                if !prev.pinned {
+                    self.used.fetch_sub(prev.data.len() as u64, Ordering::Relaxed);
+                }
+            }
+            shard.lru.push_back((key, gen));
+            shard.maybe_compact();
+        }
+        self.used.fetch_add(len, Ordering::Relaxed);
+        self.stats.inserts.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes_inserted.fetch_add(len, Ordering::Relaxed);
+        self.maybe_evict();
+    }
+
+    /// Drains LRU blocks until `used <= low watermark`, sweeping shards
+    /// round-robin. Pinned placeholders are never victims; if a full
+    /// cycle over every shard finds nothing evictable the sweep stops.
+    fn maybe_evict(&self) {
+        if self.used.load(Ordering::Relaxed) <= self.cfg.high_bytes() {
+            return;
+        }
+        let target = self.cfg.low_bytes();
+        let n = self.shards.len();
+        let mut fruitless = 0usize;
+        while self.used.load(Ordering::Relaxed) > target && fruitless < n {
+            let i = self.evict_cursor.fetch_add(1, Ordering::Relaxed) % n;
+            let mut shard = self.shards[i].lock();
+            let mut evicted = false;
+            while let Some((key, gen)) = shard.lru.pop_front() {
+                let live = shard.map.get(&key).is_some_and(|s| s.gen == gen && !s.pinned);
+                if !live {
+                    continue; // stale queue entry (retouched or removed)
+                }
+                let slot = shard.map.remove(&key).expect("checked live above");
+                let len = slot.data.len() as u64;
+                self.used.fetch_sub(len, Ordering::Relaxed);
+                self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+                self.stats.bytes_evicted.fetch_add(len, Ordering::Relaxed);
+                evicted = true;
+                break;
+            }
+            drop(shard);
+            fruitless = if evicted { 0 } else { fruitless + 1 };
+        }
+    }
+
+    /// Bytes currently cached (pinned placeholders hold none).
+    pub fn used_bytes(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached blocks (excluding in-flight pins).
+    pub fn block_count(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().map.values().filter(|v| !v.pinned).count()).sum()
+    }
+
+    /// Number of in-flight pins.
+    pub fn pinned_count(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().map.values().filter(|v| v.pinned).count()).sum()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PcacheStats {
+        PcacheStats {
+            hits: self.stats.hits.load(Ordering::Relaxed),
+            misses: self.stats.misses.load(Ordering::Relaxed),
+            evictions: self.stats.evictions.load(Ordering::Relaxed),
+            inserts: self.stats.inserts.load(Ordering::Relaxed),
+            bytes_inserted: self.stats.bytes_inserted.load(Ordering::Relaxed),
+            bytes_evicted: self.stats.bytes_evicted.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Registers a scrape-time collector mirroring this store's counters
+    /// into `obs`'s registry, labelled with the owning proxy's name.
+    pub fn register_collector(store: Arc<BlockStore>, obs: &scalla_obs::Obs, proxy: &str) {
+        if !obs.is_enabled() {
+            return;
+        }
+        let proxy = proxy.to_string();
+        obs.registry().add_collector(Box::new(move |reg| {
+            let labels = [("proxy", proxy.as_str())];
+            let s = store.stats();
+            reg.counter("scalla_pcache_block_hits_total", &labels).set(s.hits);
+            reg.counter("scalla_pcache_block_misses_total", &labels).set(s.misses);
+            reg.counter("scalla_pcache_evictions_total", &labels).set(s.evictions);
+            reg.counter("scalla_pcache_fills_total", &labels).set(s.inserts);
+            reg.counter("scalla_pcache_bytes_filled_total", &labels).set(s.bytes_inserted);
+            reg.counter("scalla_pcache_bytes_evicted_total", &labels).set(s.bytes_evicted);
+            reg.gauge("scalla_pcache_used_bytes", &labels).set(store.used_bytes());
+            reg.gauge("scalla_pcache_capacity_bytes", &labels).set(store.config().capacity);
+            reg.gauge("scalla_pcache_blocks", &labels).set(store.block_count() as u64);
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(capacity: u64) -> PcacheConfig {
+        PcacheConfig { block_size: 1024, capacity, shards: 4, ..PcacheConfig::default() }
+    }
+
+    fn block(n: usize) -> Bytes {
+        Bytes::from(vec![0xA5u8; n])
+    }
+
+    #[test]
+    fn hit_miss_and_accounting() {
+        let s = BlockStore::new(cfg(1 << 20));
+        let k = BlockKey::new("/f", 0);
+        assert!(s.get(&k).is_none());
+        s.insert(k.clone(), block(1024));
+        assert_eq!(s.get(&k).unwrap().len(), 1024);
+        assert_eq!(s.used_bytes(), 1024);
+        let st = s.stats();
+        assert_eq!((st.hits, st.misses, st.inserts), (1, 1, 1));
+    }
+
+    #[test]
+    fn watermark_eviction_converges_to_low() {
+        // capacity 10 KiB, high 90% = 9216, low 70% = 7168.
+        let c = cfg(10 << 10);
+        let s = BlockStore::new(c.clone());
+        let mut drained = false;
+        for i in 0..20u64 {
+            let before = s.used_bytes();
+            s.insert(BlockKey::new("/f", i), block(1024));
+            assert!(s.used_bytes() <= c.capacity, "never exceeds capacity");
+            if before + 1024 > c.high_bytes() {
+                // Crossing the high watermark drains all the way to low.
+                assert!(s.used_bytes() <= c.low_bytes(), "drained to low watermark");
+                drained = true;
+            }
+        }
+        assert!(drained, "pressure reached the high watermark");
+        assert!(s.used_bytes() <= c.high_bytes());
+        assert!(s.stats().evictions > 0);
+    }
+
+    #[test]
+    fn lru_evicts_coldest_first() {
+        let c = PcacheConfig { block_size: 1024, capacity: 4096, shards: 1, ..Default::default() };
+        let s = BlockStore::new(c);
+        for i in 0..3u64 {
+            s.insert(BlockKey::new("/f", i), block(1024));
+        }
+        // Touch block 0 so block 1 is the coldest.
+        assert!(s.get(&BlockKey::new("/f", 0)).is_some());
+        s.insert(BlockKey::new("/f", 3), block(1024));
+        s.insert(BlockKey::new("/f", 4), block(1024));
+        assert!(s.contains(&BlockKey::new("/f", 0)), "recently touched survives");
+        assert!(!s.contains(&BlockKey::new("/f", 1)), "coldest evicted");
+    }
+
+    #[test]
+    fn single_flight_pin_protocol() {
+        let s = BlockStore::new(cfg(1 << 20));
+        let k = BlockKey::new("/f", 7);
+        assert_eq!(s.try_pin(&k), PinOutcome::Pinned, "first claimant owns the fill");
+        assert_eq!(s.try_pin(&k), PinOutcome::AlreadyPinned, "second coalesces");
+        assert!(s.get(&k).is_none(), "pin is not a cached block");
+        assert_eq!(s.pinned_count(), 1);
+        s.insert(k.clone(), block(512));
+        assert_eq!(s.try_pin(&k), PinOutcome::Present);
+        assert_eq!(s.pinned_count(), 0);
+    }
+
+    #[test]
+    fn unpin_releases_the_claim() {
+        let s = BlockStore::new(cfg(1 << 20));
+        let k = BlockKey::new("/f", 0);
+        assert_eq!(s.try_pin(&k), PinOutcome::Pinned);
+        s.unpin(&k);
+        assert_eq!(s.try_pin(&k), PinOutcome::Pinned, "claimable again after abort");
+        // Unpin never removes real data.
+        s.insert(k.clone(), block(10));
+        s.unpin(&k);
+        assert!(s.contains(&k));
+    }
+
+    #[test]
+    fn pinned_blocks_survive_eviction_pressure() {
+        let c = PcacheConfig { block_size: 1024, capacity: 4096, shards: 2, ..Default::default() };
+        let s = BlockStore::new(c);
+        let pinned = BlockKey::new("/hot", 0);
+        assert_eq!(s.try_pin(&pinned), PinOutcome::Pinned);
+        for i in 0..50u64 {
+            s.insert(BlockKey::new("/cold", i), block(1024));
+        }
+        assert_eq!(s.try_pin(&pinned), PinOutcome::AlreadyPinned, "pin survived the churn");
+    }
+
+    #[test]
+    fn block_math() {
+        let c = PcacheConfig { block_size: 1024, ..Default::default() };
+        assert_eq!(c.blocks_for(0), 0);
+        assert_eq!(c.blocks_for(1), 1);
+        assert_eq!(c.blocks_for(1024), 1);
+        assert_eq!(c.blocks_for(1025), 2);
+        assert_eq!(c.block_len(1500, 0), 1024);
+        assert_eq!(c.block_len(1500, 1), 476);
+        assert_eq!(c.block_len(1500, 2), 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_accounting() {
+        let s = BlockStore::new(cfg(1 << 20));
+        let k = BlockKey::new("/f", 0);
+        s.insert(k.clone(), block(1000));
+        s.insert(k.clone(), block(200));
+        assert_eq!(s.used_bytes(), 200, "old bytes released on overwrite");
+        assert_eq!(s.block_count(), 1);
+    }
+}

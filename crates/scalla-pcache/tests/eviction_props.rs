@@ -1,0 +1,163 @@
+//! Property tests for the block store's eviction machinery.
+//!
+//! Whatever interleaving of fills, look-ups, single-flight pins, and
+//! aborted fills a proxy produces, the store must uphold:
+//!
+//! * byte accounting never exceeds capacity, and settles at or below
+//!   the high watermark after every completed insert;
+//! * crossing the high watermark drains the store to the low watermark
+//!   in the same call (watermark convergence);
+//! * pinned (in-flight) placeholders are never eviction victims, no
+//!   matter how much churn passes through the other blocks;
+//! * `used_bytes` equals the byte-sum of the blocks actually resident,
+//!   and stays consistent with the insert/evict counters.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use scalla_pcache::{BlockKey, BlockStore, PcacheConfig, PinOutcome};
+use std::collections::HashSet;
+
+const PATHS: u8 = 4;
+const INDICES: u64 = 16;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Complete a fill of `len` bytes (clears any pin on the key).
+    Insert { path: u8, index: u64, len: u16 },
+    /// Client look-up (refreshes LRU order).
+    Get { path: u8, index: u64 },
+    /// Claim the single-flight fill ticket.
+    Pin { path: u8, index: u64 },
+    /// Abort an in-flight fill.
+    Unpin { path: u8, index: u64 },
+}
+
+fn op_strategy(block_size: u16) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (0..PATHS, 0..INDICES, 1..=block_size)
+            .prop_map(|(path, index, len)| Op::Insert { path, index, len }),
+        3 => (0..PATHS, 0..INDICES).prop_map(|(path, index)| Op::Get { path, index }),
+        2 => (0..PATHS, 0..INDICES).prop_map(|(path, index)| Op::Pin { path, index }),
+        1 => (0..PATHS, 0..INDICES).prop_map(|(path, index)| Op::Unpin { path, index }),
+    ]
+}
+
+fn key(path: u8, index: u64) -> BlockKey {
+    BlockKey::new(format!("/prop/f{path}"), index)
+}
+
+/// Sum of resident bytes, observed through the public API.
+fn resident_bytes(store: &BlockStore) -> u64 {
+    let mut total = 0u64;
+    for p in 0..PATHS {
+        for i in 0..INDICES {
+            if let Some(b) = store.peek_block(&key(p, i)) {
+                total += b.len() as u64;
+            }
+        }
+    }
+    total
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn accounting_and_watermarks_hold_under_any_sequence(
+        ops in proptest::collection::vec(op_strategy(512), 1..200),
+        shards in 1usize..5,
+    ) {
+        // Capacity 8 KiB, high 90 % = 7372, low 600 ‰ = 4915: a couple
+        // dozen 512-byte blocks force repeated watermark crossings.
+        let cfg = PcacheConfig {
+            block_size: 512,
+            capacity: 8 << 10,
+            high_permille: 900,
+            low_permille: 600,
+            shards,
+            ..PcacheConfig::default()
+        };
+        let (high, low, capacity) = (cfg.high_bytes(), cfg.low_bytes(), cfg.capacity);
+        let store = BlockStore::new(cfg);
+        for op in &ops {
+            match *op {
+                Op::Insert { path, index, len } => {
+                    // An insert over an existing key releases the old bytes,
+                    // so "crossed high" is only observable as "evicted
+                    // something" — and any eviction must drain all the way.
+                    let evictions_before = store.stats().evictions;
+                    store.insert(key(path, index), Bytes::from(vec![0u8; len as usize]));
+                    if store.stats().evictions > evictions_before {
+                        prop_assert!(
+                            store.used_bytes() <= low,
+                            "crossing high ({high}) must drain to low ({low}), used={}",
+                            store.used_bytes()
+                        );
+                    }
+                }
+                Op::Get { path, index } => {
+                    store.get(&key(path, index));
+                }
+                Op::Pin { path, index } => {
+                    store.try_pin(&key(path, index));
+                }
+                Op::Unpin { path, index } => {
+                    store.unpin(&key(path, index));
+                }
+            }
+            prop_assert!(store.used_bytes() <= capacity, "accounting within capacity");
+            prop_assert!(store.used_bytes() <= high, "settles at or below high watermark");
+        }
+        // The atomic byte counter matches what is actually resident, and
+        // is consistent with the flow counters (overwrites release extra
+        // bytes beyond what eviction counted, hence inequality).
+        let st = store.stats();
+        prop_assert_eq!(store.used_bytes(), resident_bytes(&store));
+        prop_assert!(store.used_bytes() + st.bytes_evicted <= st.bytes_inserted);
+        prop_assert!(st.bytes_evicted <= st.bytes_inserted);
+    }
+
+    #[test]
+    fn pinned_blocks_are_never_evicted(
+        pins in proptest::collection::vec((0..PATHS, 0..INDICES), 1..8),
+        churn in proptest::collection::vec((0..PATHS, 0..INDICES, 1u16..=512), 20..120),
+    ) {
+        let cfg = PcacheConfig {
+            block_size: 512,
+            capacity: 4 << 10,
+            high_permille: 900,
+            low_permille: 500,
+            shards: 2,
+            ..PcacheConfig::default()
+        };
+        let store = BlockStore::new(cfg);
+        let mut pinned: HashSet<BlockKey> = HashSet::new();
+        for &(p, i) in &pins {
+            if store.try_pin(&key(p, i)) == PinOutcome::Pinned {
+                pinned.insert(key(p, i));
+            }
+        }
+        prop_assert_eq!(store.pinned_count(), pinned.len());
+        for &(p, i, len) in &churn {
+            let k = key(p, i);
+            if pinned.contains(&k) {
+                continue; // keep the pins in flight throughout the churn
+            }
+            store.insert(k, Bytes::from(vec![0u8; len as usize]));
+            for k in &pinned {
+                prop_assert_eq!(
+                    store.try_pin(k),
+                    PinOutcome::AlreadyPinned,
+                    "pin lost under eviction pressure"
+                );
+            }
+        }
+        prop_assert_eq!(store.pinned_count(), pinned.len());
+        // Completing the fills converts every pin into a resident block.
+        for k in &pinned {
+            store.insert(k.clone(), Bytes::from(vec![1u8; 64]));
+            prop_assert!(store.contains(k));
+        }
+        prop_assert_eq!(store.pinned_count(), 0);
+    }
+}

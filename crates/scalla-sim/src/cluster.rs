@@ -5,6 +5,7 @@ use scalla_client::{ClientConfig, ClientNode, ClientOp, Directory, OpResult};
 use scalla_cluster::{MembershipConfig, NodeId, NodeRole, SelectionPolicy, TreeSpec};
 use scalla_node::{CmsdConfig, CmsdNode, CmsdRole, CnsNode, ServerConfig, ServerNode};
 use scalla_obs::Obs;
+use scalla_pcache::{PcacheConfig, ProxyConfig, ProxyNode};
 use scalla_proto::Addr;
 use scalla_simnet::{LatencyModel, SimNet};
 use scalla_util::Nanos;
@@ -39,6 +40,11 @@ pub struct ClusterConfig {
     pub staging_delay: Nanos,
     /// Heartbeat period cluster-wide.
     pub heartbeat: Nanos,
+    /// Number of block-caching proxy data servers (§II-B6) joined under
+    /// the managers alongside the real servers.
+    pub n_proxies: usize,
+    /// Block-cache tuning applied to every proxy.
+    pub pcache: PcacheConfig,
     /// Deterministic seed.
     pub seed: u64,
     /// Whether to run a Cluster Name Space daemon (footnote 3) and wire
@@ -65,6 +71,8 @@ impl ClusterConfig {
             exports: vec!["/".to_string()],
             staging_delay: Nanos::from_secs(30),
             heartbeat: Nanos::from_secs(1),
+            n_proxies: 0,
+            pcache: PcacheConfig::default(),
             seed: 42,
             with_cns: false,
             obs: Obs::disabled(),
@@ -84,6 +92,8 @@ pub struct SimCluster {
     pub supervisors: Vec<Addr>,
     /// Leaf server addresses, aligned with `spec.servers`.
     pub servers: Vec<Addr>,
+    /// Proxy-cache addresses (`pxy-{p}`), when configured.
+    pub proxies: Vec<Addr>,
     /// The layout this cluster was built from.
     pub spec: TreeSpec,
     /// Client addresses added so far.
@@ -195,12 +205,33 @@ impl SimCluster {
             }
         }
 
+        // Proxy caches join the managers directly, looking like ordinary
+        // data servers to the cmsd tree.
+        let mut proxies = Vec::new();
+        for p in 0..cfg.n_proxies {
+            let name = format!("pxy-{p}");
+            let mut c = ProxyConfig::new(&name, managers[0], directory.clone());
+            c.parents = managers.clone();
+            c.origin_managers = managers.clone();
+            c.exports = cfg.exports.clone();
+            c.cache = cfg.pcache.clone();
+            c.heartbeat = cfg.heartbeat;
+            let mut pxy = ProxyNode::new(c);
+            if cfg.obs.is_enabled() {
+                pxy.set_obs(cfg.obs.clone());
+            }
+            let addr = net.add_node(Box::new(pxy));
+            directory.register(&name, addr);
+            proxies.push(addr);
+        }
+
         SimCluster {
             net,
             directory,
             managers,
             supervisors,
             servers,
+            proxies,
             spec,
             clients: Vec::new(),
             cns,
@@ -309,6 +340,36 @@ impl SimCluster {
             .expect("cmsd exposes any")
             .downcast_mut::<CmsdNode>()
             .expect("addr is a CmsdNode");
+        f(node)
+    }
+
+    /// Attaches a scripted client whose "manager" is proxy `idx` — its
+    /// whole data path flows through the proxy cache.
+    pub fn add_proxy_client(&mut self, idx: usize, ops: Vec<ClientOp>, start_delay: Nanos) -> Addr {
+        let proxy = self.proxies[idx];
+        let mut ccfg = ClientConfig::new(proxy, self.directory.clone(), ops);
+        ccfg.managers = vec![proxy];
+        ccfg.start_delay = start_delay;
+        ccfg.cns = self.cns;
+        let mut node = ClientNode::new(ccfg);
+        if self.cfg.obs.is_enabled() {
+            node.set_obs(self.cfg.obs.clone());
+        }
+        let addr = self.net.add_node(Box::new(node));
+        self.clients.push(addr);
+        addr
+    }
+
+    /// Runs `f` against a proxy-cache node.
+    pub fn with_proxy<R>(&mut self, idx: usize, f: impl FnOnce(&mut ProxyNode) -> R) -> R {
+        let addr = self.proxies[idx];
+        let node = self
+            .net
+            .node_mut(addr)
+            .as_any_mut()
+            .expect("proxy exposes any")
+            .downcast_mut::<ProxyNode>()
+            .expect("addr is a ProxyNode");
         f(node)
     }
 

@@ -17,6 +17,7 @@
 //! | [`node`] | `scalla-node` | cmsd (manager/supervisor) and data-server state machines |
 //! | [`obs`] | `scalla-obs` | metrics registry, request-scoped tracing, flight recorder |
 //! | [`client`] | `scalla-client` | redirect walking, wait/retry, refresh recovery, prepare |
+//! | [`pcache`] | `scalla-pcache` | block-caching proxy data-server tier (§II-B6) |
 //! | [`sim`] | `scalla-sim` | whole-cluster harness, live threaded runtime, workloads |
 //! | [`baseline`] | `scalla-baseline` | GFS-style central master and other comparators (§V) |
 //! | [`qserv`] | `scalla-qserv` | LSST Qserv-style distributed dispatch (§IV-B) |
@@ -50,6 +51,7 @@ pub use scalla_client as client;
 pub use scalla_cluster as cluster;
 pub use scalla_node as node;
 pub use scalla_obs as obs;
+pub use scalla_pcache as pcache;
 pub use scalla_proto as proto;
 pub use scalla_qserv as qserv;
 pub use scalla_sim as sim;
@@ -63,6 +65,7 @@ pub mod prelude {
     pub use scalla_cluster::{SelectionPolicy, TreeSpec};
     pub use scalla_node::{CmsdConfig, CmsdNode, CnsNode, ServerConfig, ServerNode};
     pub use scalla_obs::{Obs, TraceId};
+    pub use scalla_pcache::{BlockStore, PcacheConfig, ProxyConfig, ProxyNode};
     pub use scalla_proto::{Addr, ClientMsg, CmsMsg, Msg, ServerMsg};
     pub use scalla_sim::{
         ChaosProfile, ChaosScheduler, ClusterConfig, Fault, FaultPlan, SimCluster,

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Validates BENCH_pcache.json, written by `cargo run --example pcache_run`.
+
+Checks the schema and the proxy-cache acceptance conditions: the
+hit-rate curve starts cold and converges upward (final round at least
+90 % hits, strictly above the first round), warm reads are faster than
+cold reads at the median, every file ended fully cached, and the byte
+accounting is self-consistent (the origin was only crossed for fills).
+
+Usage: python3 tools/check_pcache.py BENCH_pcache.json [--smoke]
+
+--smoke relaxes nothing but is accepted for CI-invocation symmetry with
+the other checkers; the correctness conditions are identical.
+"""
+import json
+import sys
+
+NUM = (int, float)
+
+TOP_KEYS = {
+    "bench": str,
+    "mode": str,
+    "block_size": int,
+    "file_size": int,
+    "files": int,
+    "rounds": int,
+    "hit_rate_curve": list,
+    "cold_read_ns": dict,
+    "warm_read_ns": dict,
+    "warm_speedup": NUM,
+    "origin_bytes": int,
+    "cache_bytes": int,
+    "fills": int,
+    "evictions": int,
+    "fully_cached_files": int,
+}
+
+LATENCY_KEYS = {"p50": NUM, "p99": NUM}
+
+
+def fail(msg: str) -> None:
+    sys.exit(f"check_pcache: FAIL: {msg}")
+
+
+def check_keys(obj: dict, spec: dict, where: str) -> None:
+    for key, typ in spec.items():
+        if key not in obj:
+            fail(f"{where}: missing key {key!r}")
+        if not isinstance(obj[key], typ):
+            fail(f"{where}.{key}: expected {typ}, got {type(obj[key]).__name__}")
+
+
+def check_latency(lat: dict, where: str) -> None:
+    check_keys(lat, LATENCY_KEYS, where)
+    if not 0 < lat["p50"] <= lat["p99"]:
+        fail(f"{where}: percentiles out of order: {lat}")
+
+
+def main() -> None:
+    args = [a for a in sys.argv[1:] if a != "--smoke"]
+    if len(args) != 1:
+        fail("usage: check_pcache.py BENCH_pcache.json [--smoke]")
+    with open(args[0]) as f:
+        doc = json.load(f)
+
+    check_keys(doc, TOP_KEYS, "top")
+    if doc["bench"] != "pcache":
+        fail(f"bench is {doc['bench']!r}")
+    if doc["mode"] not in ("smoke", "full"):
+        fail(f"mode is {doc['mode']!r}")
+    check_latency(doc["cold_read_ns"], "cold_read_ns")
+    check_latency(doc["warm_read_ns"], "warm_read_ns")
+
+    curve = doc["hit_rate_curve"]
+    if len(curve) != doc["rounds"]:
+        fail(f"curve has {len(curve)} points for {doc['rounds']} rounds")
+    if doc["rounds"] < 2:
+        fail("need at least a cold round and one warm round")
+    for i, r in enumerate(curve):
+        if not isinstance(r, NUM) or not 0.0 <= r <= 1.0:
+            fail(f"hit_rate_curve[{i}] out of range: {r!r}")
+    if curve[0] > 0.5:
+        fail(f"first round should be cold, hit rate {curve[0]:.3f}")
+    if curve[-1] < 0.9:
+        fail(f"hit rate failed to converge: final round {curve[-1]:.3f}")
+    if curve[-1] <= curve[0]:
+        fail(f"hit rate must rise across rounds: {curve[0]:.3f} -> {curve[-1]:.3f}")
+
+    if doc["warm_read_ns"]["p50"] >= doc["cold_read_ns"]["p50"]:
+        fail(
+            f"warm p50 {doc['warm_read_ns']['p50']:.0f} ns not faster than"
+            f" cold p50 {doc['cold_read_ns']['p50']:.0f} ns"
+        )
+    if doc["warm_speedup"] <= 1.0:
+        fail(f"warm_speedup {doc['warm_speedup']} must exceed 1")
+
+    total = doc["files"] * doc["file_size"]
+    if doc["origin_bytes"] != total:
+        fail(f"origin bytes {doc['origin_bytes']} != one cold pass over {total}")
+    if doc["cache_bytes"] < total * (doc["rounds"] - 1):
+        fail(
+            f"cache bytes {doc['cache_bytes']} below the"
+            f" {doc['rounds'] - 1} warm passes over {total}"
+        )
+    if doc["fills"] * doc["block_size"] < total:
+        fail(f"{doc['fills']} fills of {doc['block_size']} B can't cover {total} B")
+    if doc["evictions"] < 0:
+        fail("negative evictions")
+    if doc["fully_cached_files"] != doc["files"]:
+        fail(
+            f"only {doc['fully_cached_files']}/{doc['files']} files"
+            " fully cached and advertised"
+        )
+
+    print(
+        f"check_pcache: OK ({doc['mode']}): {doc['files']} files x"
+        f" {doc['rounds']} rounds, hit rate {curve[0]:.2f} -> {curve[-1]:.2f},"
+        f" warm p50 {doc['warm_read_ns']['p50'] / 1e3:.0f} us vs cold"
+        f" {doc['cold_read_ns']['p50'] / 1e3:.0f} us"
+        f" ({doc['warm_speedup']:.1f}x), {doc['fills']} fills,"
+        f" {doc['evictions']} evictions"
+    )
+
+
+if __name__ == "__main__":
+    main()
